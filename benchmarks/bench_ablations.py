@@ -1,0 +1,79 @@
+"""Ablations of LAPS's design choices (DESIGN.md §6).
+
+Thin timed wrappers over :mod:`repro.experiments.ablations`; each
+prints its table and asserts the ablation's finding.
+"""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import full_scale
+
+
+def _quick() -> bool:
+    return not full_scale()
+
+
+def test_ablation_promote_threshold(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: ablations.run_promote_threshold(quick=_quick()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    # lower thresholds promote more aggressively (the challenge rule
+    # keeps *migration* counts roughly flat -- that is the ablation's
+    # finding: promotion churn, not migration churn, tracks threshold)
+    promos = result.column("promotions")
+    assert promos[0] > promos[-1]
+
+
+def test_ablation_queue_depth(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: ablations.run_queue_depth(quick=_quick()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    drops = result.column("dropped")
+    assert drops[-1] < drops[0]  # deeper queues absorb more burst
+
+
+def test_ablation_migration_table_size(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: ablations.run_migration_table(quick=_quick()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    ev = result.column("evictions")
+    assert ev[-1] <= ev[0]  # large tables stop evicting pins
+
+
+def test_ablation_pin_weight(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: ablations.run_pin_weight(quick=_quick()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    assert len(result.rows) == 4
+
+
+def test_ablation_order_restoration(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: ablations.run_restoration(quick=_quick()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    residuals = result.column("residual_ooo")
+    assert residuals == sorted(residuals, reverse=True)
+    assert residuals[-1] == 0  # unbounded buffer restores fully
+    # ...but needs real storage (the paper's criticism)
+    assert result.rows[-1]["max_occupancy"] > 8
+
+
+def test_ablation_power_gating(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: ablations.run_power_gating(quick=_quick()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    savings = result.column("savings")
+    assert savings == sorted(savings)
+    assert savings[-1] > 0.05

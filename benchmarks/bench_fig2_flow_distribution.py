@@ -1,0 +1,40 @@
+"""Fig. 2 — regenerate the flow rank-size distribution.
+
+Also benchmarks synthetic trace generation throughput (the substrate
+every other experiment stands on).
+"""
+
+from repro.experiments import fig2
+from repro.trace.synthetic import preset_trace
+
+from benchmarks.conftest import full_scale
+
+
+def test_fig2_rank_size(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig2.run_rank_size(quick=not full_scale()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    # heavy tail: rank-1 flows dwarf the tail on every trace
+    by_trace = {}
+    for row in result.rows:
+        by_trace.setdefault(row["trace"], []).append(row["size_bytes"])
+    for sizes in by_trace.values():
+        assert sizes[0] > 10 * sizes[-1]
+
+
+def test_fig2_concentration(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig2.run_concentration(quick=not full_scale()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    assert all(row["top16_share"] > 0.25 for row in result.rows)
+
+
+def test_trace_generation_throughput(benchmark):
+    """Packets generated per second of wall time (vectorised path)."""
+    n = 200_000 if full_scale() else 50_000
+    trace = benchmark(lambda: preset_trace("caida-1", num_packets=n))
+    assert trace.num_packets == n

@@ -1,0 +1,44 @@
+"""Fig. 7(a-c) — LAPS vs FCFS vs AFS over the Table VI scenarios.
+
+One pedantic round regenerates all three panels (drops, cold-cache
+fraction, out-of-order) plus the paper's headline claim.  Medium scale
+runs T1/T3/T5/T7 at 20 ms; ``REPRO_BENCH_FULL=1`` runs all eight
+scenarios at the full 60 ms.
+"""
+
+from repro import units
+from repro.experiments import fig7
+
+from benchmarks.conftest import full_scale
+
+
+def _run():
+    if full_scale():
+        return fig7.run(quick=False)
+    return fig7.run(
+        scenarios=("T1", "T3", "T5", "T7"),
+        duration_ns=units.ms(20),
+        trace_packets=60_000,
+    )
+
+
+def test_fig7_scenarios(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result)
+    head = fig7.headline(result)
+    print(
+        f"[headline] LAPS vs best baseline: "
+        f"{head['drop_improvement']:.0%} fewer drops, "
+        f"{head['ooo_improvement']:.0%} fewer OOO "
+        f"(paper: 60% / 80%)"
+    )
+    # the paper's ordering must hold in every scenario
+    by_scenario = {}
+    for row in result.rows:
+        by_scenario.setdefault(row["scenario"], {})[row["scheduler"]] = row
+    for rows in by_scenario.values():
+        assert rows["laps"]["dropped"] < rows["afs"]["dropped"]
+        assert rows["afs"]["dropped"] < rows["fcfs"]["dropped"]
+        assert rows["laps"]["cold_cache_frac"] < rows["fcfs"]["cold_cache_frac"]
+        assert rows["fcfs"]["ooo"] > rows["laps"]["ooo"]
+    assert head["drop_improvement"] > 0.5

@@ -1,0 +1,65 @@
+"""Fig. 8(a-c) — Aggressive Flow Detector accuracy panels, plus the
+single- vs two-level ablation."""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import full_scale
+
+
+def test_fig8a_annex_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig8.run_annex_sweep(quick=not full_scale()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    by_trace = {}
+    for row in result.rows:
+        by_trace.setdefault(row["trace"], {})[row["annex_entries"]] = row["fpr"]
+    for trace, fprs in by_trace.items():
+        # FPR is non-increasing in annex size (Fig. 8a's shape)
+        sizes = sorted(fprs)
+        for a, b in zip(sizes, sizes[1:]):
+            assert fprs[b] <= fprs[a] + 1e-9
+        # auckland-like traces reach 100% accuracy at 512 (paper)
+        if trace.startswith("auck"):
+            assert fprs[512] == 0.0
+    # the caida false positives are top-20 flows (paper's observation)
+    assert all(row["fpr_vs_top20"] <= row["fpr"] for row in result.rows)
+
+
+def test_fig8b_window_accuracy(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig8.run_window_accuracy(quick=not full_scale()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    # paper: above 90% accuracy from 1000-packet steps upward.  At the
+    # quick trace length the caida presets' byte-vs-packet ranking
+    # mismatch costs ~2 slots on short prefixes, so the gate is 0.78
+    # there and the paper's 0.90 at full scale.
+    floor = 0.90 if full_scale() else 0.78
+    assert all(row["mean_accuracy"] >= floor for row in result.rows)
+
+
+def test_fig8c_sampling(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig8.run_sampling(quick=not full_scale()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    for trace in {row["trace"] for row in result.rows}:
+        rows = {r["sample_prob"]: r["fpr"] for r in result.rows if r["trace"] == trace}
+        # sampling at 1/10 does not hurt (paper: it helps up to ~1/1k)
+        assert rows[0.1] <= rows[1.0] + 0.13
+
+
+def test_fig8_single_vs_two_level(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig8.run_single_vs_two_level(quick=not full_scale()),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    total = {}
+    for row in result.rows:
+        total[row["detector"]] = total.get(row["detector"], 0.0) + row["fpr"]
+    assert total["afd-two-level"] <= total["single-lfu"]

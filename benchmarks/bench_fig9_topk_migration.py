@@ -1,0 +1,33 @@
+"""Fig. 9(a-c) — benefit of migrating only the top flows, vs AFS.
+
+Single service (IP forwarding), 16 cores, ~105% offered load.  The
+bench regenerates all three relative panels (drops / OOO / migrations).
+"""
+
+from repro.experiments import fig9
+
+from benchmarks.conftest import full_scale
+
+
+def _run():
+    if full_scale():
+        return fig9.run(quick=False)
+    return fig9.run(quick=False, traces=("caida-1", "auck-1"), k_sweep=(1, 8, 16))
+
+
+def test_fig9_topk_migration(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result)
+    for trace in {row["trace"] for row in result.rows}:
+        rows = {r["policy"]: r for r in result.rows if r["trace"] == trace}
+        none, afs = rows["none"], rows["afs"]
+        top16 = rows["top-16"]
+        # (a) no migration loses the most packets
+        assert none["dropped"] >= afs["dropped"] * 0.9
+        assert top16["dropped"] <= none["dropped"]
+        # (b) OOO collapses when only elephants move (paper: -85%)
+        assert top16["ooo_rel_afs"] < 0.6
+        # (c) migrations collapse too (paper: -80%)
+        assert top16["migrations_rel_afs"] < 0.5
+        # the real AFD gets close to the oracle detector
+        assert rows["laps-afd"]["dropped"] <= afs["dropped"] * 1.2

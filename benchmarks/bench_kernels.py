@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the hot paths (classic pytest-benchmark).
+
+These quantify the claims the simulator's design leans on: vectorised
+CRC16 hashing, O(1) AFD accesses, cheap scheduling decisions, and the
+event loop's packet rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.afd import AFDConfig, AggressiveFlowDetector
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.core.lfu import LFUCache
+from repro.hashing.crc import CRC16_CCITT
+from repro.hashing.five_tuple import pack_five_tuples_batch
+from repro.net.service import Service, ServiceSet
+from repro.schedulers.base import make_scheduler
+from repro.sim.config import SimConfig
+from repro.sim.generator import HoltWintersParams
+from repro.sim.system import simulate
+from repro.sim.workload import build_workload
+from repro.trace.synthetic import preset_trace
+
+
+@pytest.fixture(scope="module")
+def packed_keys(rng=np.random.default_rng(0)):
+    return rng.integers(0, 256, size=(100_000, 13), dtype=np.uint8)
+
+
+def test_crc16_batch_hash(benchmark, packed_keys):
+    """Vectorised CRC16 of 100k 5-tuples (the trace-ingest path)."""
+    out = benchmark(CRC16_CCITT.checksum_batch, packed_keys)
+    assert out.shape == (100_000,)
+
+
+def test_crc16_scalar_hash(benchmark):
+    data = b"\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d"
+    assert benchmark(CRC16_CCITT.checksum, data) == CRC16_CCITT.checksum(data)
+
+
+def test_five_tuple_batch_packing(benchmark):
+    rng = np.random.default_rng(1)
+    n = 100_000
+    args = (
+        rng.integers(0, 2**32, n, dtype=np.uint64),
+        rng.integers(0, 2**32, n, dtype=np.uint64),
+        rng.integers(0, 2**16, n, dtype=np.uint64),
+        rng.integers(0, 2**16, n, dtype=np.uint64),
+        rng.integers(0, 2**8, n, dtype=np.uint64),
+    )
+    out = benchmark(pack_five_tuples_batch, *args)
+    assert out.shape == (n, 13)
+
+
+def test_lfu_access(benchmark):
+    """One access on a 512-entry LFU under realistic churn."""
+    cache = LFUCache(512)
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 5000, size=10_000).tolist()
+    for k in keys:
+        cache.access(k)
+    stream = iter(keys * 1000)
+
+    def op():
+        cache.access(next(stream))
+
+    benchmark(op)
+
+
+def test_afd_observe(benchmark):
+    """Per-packet AFD work (AFC probe + annex update)."""
+    afd = AggressiveFlowDetector(AFDConfig())
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 20_000, size=10_000).tolist()
+    for k in keys:
+        afd.observe(k)
+    stream = iter(keys * 1000)
+
+    def op():
+        afd.observe(next(stream))
+
+    benchmark(op)
+
+
+def test_laps_decision(benchmark):
+    """One LAPS scheduling decision on a balanced 16-core system."""
+
+    class Loads:
+        num_cores = 16
+        queue_capacity = 32
+
+        def occupancy(self, core_id):
+            return 3
+
+    sched = LAPSScheduler(LAPSConfig(num_services=4), rng=0)
+    sched.bind(Loads())
+    rng = np.random.default_rng(4)
+    flows = rng.integers(0, 10_000, size=10_000).tolist()
+    stream = iter(flows * 1000)
+
+    def op():
+        f = next(stream)
+        sched.select_core(f, f & 3, f * 2654435761 % 65536, 0)
+
+    benchmark(op)
+
+
+def test_simulator_event_loop(benchmark):
+    """End-to-end simulated packets per second of wall time."""
+    svc = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    trace = preset_trace("caida-1", num_packets=20_000)
+    wl = build_workload(
+        [trace], [HoltWintersParams(a=8e6)], duration_ns=units.ms(3), seed=0
+    )
+    cfg = SimConfig(num_cores=8, services=svc, collect_latencies=False)
+
+    def run():
+        return simulate(wl, make_scheduler("hash-static"), cfg)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.generated == wl.num_packets

@@ -1,0 +1,20 @@
+"""Sec. III-G / Table III — scheduler critical-path timing tables."""
+
+from repro.experiments import timing
+
+
+def test_timing_critical_path(benchmark, show):
+    result = benchmark.pedantic(timing.run_critical_path, rounds=1, iterations=1)
+    show(result)
+    assert all(row["sustains_100gbps"] for row in result.rows)
+    base = next(
+        r for r in result.rows if r["hash_ns"] == 5.0 and r["map_entries"] == 256
+    )
+    # the paper's claim: the FPGA CRC16 datapoint sustains >= 200 Mpps
+    assert base["max_rate_mpps"] >= 200.0
+
+
+def test_table3_core_config(benchmark, show):
+    result = benchmark.pedantic(timing.run_table3, rounds=1, iterations=1)
+    show(result)
+    assert len(result.rows) == 5

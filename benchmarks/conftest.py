@@ -1,0 +1,37 @@
+"""Benchmark plumbing.
+
+Two kinds of benchmarks live here:
+
+* **kernel benchmarks** (``bench_kernels.py``) — classic
+  pytest-benchmark micro-measurements of the hot paths;
+* **figure benchmarks** (one file per paper table/figure) — each runs
+  the corresponding experiment harness exactly once
+  (``benchmark.pedantic(rounds=1)``), times it, and *prints the
+  regenerated table* so ``pytest benchmarks/ --benchmark-only -s``
+  reproduces the paper's evaluation output end-to-end.
+
+Figure benches default to a "medium" scale that finishes in tens of
+seconds; set ``REPRO_BENCH_FULL=1`` for the full-size runs recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def show():
+    """Print a result table beneath the benchmark output."""
+
+    def _show(result) -> None:
+        print()
+        print(result.format())
+
+    return _show

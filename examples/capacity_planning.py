@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Capacity planning: how many cores does a target loss rate need?
+
+The paper's economic argument for LAPS (Sec. II): static worst-case
+provisioning wastes cores; a scheduler that balances well and shares
+cores between services needs fewer of them.  This example sweeps the
+core count for a fixed offered load and reports the drop rate per
+scheduler — the gap between the curves is the hardware LAPS saves.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    AFSScheduler,
+    HoltWintersParams,
+    LAPSConfig,
+    LAPSScheduler,
+    Service,
+    ServiceSet,
+    SimConfig,
+    build_workload,
+    make_scheduler,
+    preset_trace,
+    simulate,
+    units,
+)
+from repro.util.tables import format_table
+
+TARGET_LOSS = 0.02
+
+
+def main() -> None:
+    trace = preset_trace("caida-1", num_packets=100_000)
+    service = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+
+    # fixed offered load: what 10 perfectly-utilised cores could serve
+    offered = 0.95 * 10 * service[0].capacity_pps(348)
+    workload = build_workload(
+        [trace], [HoltWintersParams(a=offered)],
+        duration_ns=units.ms(12), seed=5,
+    )
+    print(f"offered load: {offered / 1e6:.2f} Mpps "
+          f"({workload.num_packets} packets over 12 ms)\n")
+
+    rows = []
+    first_ok: dict[str, int] = {}
+    for cores in (10, 12, 14, 16, 20):
+        config = SimConfig(num_cores=cores, services=service,
+                           collect_latencies=False)
+        row = [cores]
+        for name, factory in (
+            ("hash-static", lambda: make_scheduler("hash-static")),
+            ("afs", lambda: AFSScheduler(cooldown_ns=units.us(100))),
+            ("laps", lambda: LAPSScheduler(
+                LAPSConfig(num_services=1), rng=1)),
+        ):
+            rep = simulate(workload, factory(), config)
+            row.append(f"{rep.drop_fraction:.2%}")
+            if rep.drop_fraction <= TARGET_LOSS and name not in first_ok:
+                first_ok[name] = cores
+        rows.append(row)
+
+    print(format_table(
+        ["cores", "hash-static", "afs", "laps"],
+        rows,
+        title=f"Drop rate vs core count (target <= {TARGET_LOSS:.0%})",
+    ))
+    print()
+    for name in ("hash-static", "afs", "laps"):
+        need = first_ok.get(name)
+        print(f"  {name:12s} needs {'>20' if need is None else need} cores "
+              f"for <= {TARGET_LOSS:.0%} loss")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Standalone Aggressive Flow Detector: find the elephants in a trace.
+
+Feeds a trace through the two-level AFD (annex cache -> AFC) and
+through Lu et al.'s single-cache ElephantTrap, scoring both against the
+exact offline top-16.  Also shows the Fig. 8(c) sampling effect: the
+detector keeps (or improves) its accuracy while looking at only a
+fraction of the packets.
+
+Run:  python examples/elephant_detection.py
+"""
+
+from repro import AFDConfig, AggressiveFlowDetector, preset_trace, top_k_flows
+from repro.schedulers.elephant_trap import ElephantTrap
+from repro.util.tables import format_table
+
+
+def feed(detector, trace) -> None:
+    observe = detector.observe
+    for fid in trace.flow_id:
+        observe(int(fid))
+
+
+def main() -> None:
+    rows = []
+    for name in ("caida-1", "caida-2", "auck-1", "auck-2"):
+        trace = preset_trace(name)
+        truth16 = set(top_k_flows(trace, 16, by="bytes"))
+        truth20 = set(top_k_flows(trace, 20, by="bytes"))
+
+        afd = AggressiveFlowDetector(AFDConfig(annex_entries=512), rng=0)
+        feed(afd, trace)
+
+        trap = ElephantTrap(entries=16, rng=0)
+        feed(trap, trace)
+
+        sampled = AggressiveFlowDetector(
+            AFDConfig(annex_entries=512, sample_prob=0.01), rng=0
+        )
+        feed(sampled, trace)
+
+        rows.append([
+            name,
+            f"{afd.accuracy(truth16):.1%}",
+            f"{afd.accuracy(truth20):.1%}",
+            f"{trap.accuracy(truth16):.1%}",
+            f"{sampled.accuracy(truth16):.1%}",
+            f"{sampled.sampled}/{sampled.observed}",
+        ])
+
+    print(format_table(
+        ["trace", "AFD top-16", "AFD vs top-20", "single-cache", "AFD @ p=1%",
+         "packets seen"],
+        rows,
+        title="Aggressive Flow Detector accuracy (16-entry AFC, 512-entry annex)",
+    ))
+    print()
+    print("Reading the table:")
+    print(" * 'AFD vs top-20': the paper notes its few Caida false positives")
+    print("   are rank-17..20 flows - scoring against the top-20 absolves them.")
+    print(" * the single LFU cache (no annex) admits mice and scores worse.")
+    print(" * at 1% sampling the AFD still finds the elephants (Fig. 8c).")
+
+
+if __name__ == "__main__":
+    main()

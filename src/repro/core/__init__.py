@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the Locality Aware Packet Scheduler
+(LAPS) and its building blocks.
+
+* :mod:`repro.core.lfu` — fully-associative LFU cache (the hardware
+  structure both AFD levels use);
+* :mod:`repro.core.afd` — Aggressive Flow Detector: annex cache
+  filtering promotions into the small Aggressive Flow Cache (Fig. 4);
+* :mod:`repro.core.incremental_hash` — the h1/h2 linear-hashing scheme
+  of Sec. III-C;
+* :mod:`repro.core.map_table` — per-service map tables (bucket lists);
+* :mod:`repro.core.migration` — the migration table that overrides the
+  map table for migrated flows;
+* :mod:`repro.core.allocator` — dynamic allocation/release of cores to
+  services (surplus list, idle timers, Sec. III-C/D);
+* :mod:`repro.core.laps` — the scheduler itself (Listing 1 + Sec. III-E);
+* :mod:`repro.core.timing` — the Sec. III-G critical-path timing model.
+"""
+
+from repro.core.lfu import LFUCache
+from repro.core.afd import AFDConfig, AggressiveFlowDetector
+from repro.core.incremental_hash import IncrementalHash
+from repro.core.map_table import ServiceMapTable
+from repro.core.migration import MigrationTable
+from repro.core.allocator import CoreAllocator
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.core.timing import LAPSTimingModel, SRAMModel, estimate_max_rate_mpps
+
+__all__ = [
+    "LFUCache",
+    "AFDConfig",
+    "AggressiveFlowDetector",
+    "IncrementalHash",
+    "ServiceMapTable",
+    "MigrationTable",
+    "CoreAllocator",
+    "LAPSConfig",
+    "LAPSScheduler",
+    "LAPSTimingModel",
+    "SRAMModel",
+    "estimate_max_rate_mpps",
+]

@@ -1,0 +1,188 @@
+"""Dynamic allocation of cores to services — paper Sec. III-C/D.
+
+Initially cores are divided equally among services.  The allocator then
+tracks, per core:
+
+* **ownership** — which service's map table the core sits in;
+* **quietness** — the last time the core had meaningful backlog.  The
+  paper starts a timer when a core's input queue drains and marks the
+  core *surplus* at ``idle_th``.  Taken literally (any enqueue resets
+  the timer) a core receiving even a trickle of hash-spread packets
+  would never be marked, so this model uses the natural refinement:
+  the timer is reset only when the core's queue occupancy reaches
+  ``busy_occupancy`` descriptors — i.e. *surplus* means "no real
+  backlog for ``idle_threshold_ns``", which is exactly the condition
+  under which donating the core is safe (Sec. III-D argues the victim
+  service is "only lightly loaded anyway").
+
+``request_core`` implements the policy: a service that needs capacity
+first *unmarks* one of its own surplus cores (free — no context switch,
+no table change); otherwise it takes the core that has been quiet
+**longest** from another service ("least utility for the victim
+service"), which the caller must then move between map tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SchedulerError
+
+__all__ = ["CoreAllocator", "CoreTransfer"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreTransfer:
+    """Result of a granted core request."""
+
+    core_id: int
+    donor_service: int
+    recipient_service: int
+
+    @property
+    def is_internal(self) -> bool:
+        """True when the service reclaimed its own surplus core (no map
+        table update or context switch needed)."""
+        return self.donor_service == self.recipient_service
+
+
+class CoreAllocator:
+    """Ownership + surplus bookkeeping for a pool of cores."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        num_services: int,
+        idle_threshold_ns: int,
+        busy_occupancy: int = 4,
+    ) -> None:
+        if num_cores <= 0:
+            raise ConfigError(f"need at least one core, got {num_cores}")
+        if num_services <= 0:
+            raise ConfigError(f"need at least one service, got {num_services}")
+        if num_cores < num_services:
+            raise ConfigError(
+                f"{num_cores} cores cannot cover {num_services} services "
+                "(every service needs at least one)"
+            )
+        if idle_threshold_ns < 0:
+            raise ConfigError(
+                f"idle threshold must be >= 0, got {idle_threshold_ns}"
+            )
+        if busy_occupancy < 1:
+            raise ConfigError(
+                f"busy_occupancy must be >= 1, got {busy_occupancy}"
+            )
+        self.idle_threshold_ns = idle_threshold_ns
+        self.busy_occupancy = busy_occupancy
+        self._owner: list[int] = []
+        # equal division, remainder to the first services (paper: "cores
+        # are equally divided among services" at initialization)
+        base, extra = divmod(num_cores, num_services)
+        for sid in range(num_services):
+            count = base + (1 if sid < extra else 0)
+            self._owner.extend([sid] * count)
+        self._last_busy_ns: list[int] = [0] * num_cores
+        self.transfers = 0
+        self.internal_reclaims = 0
+        self.denied_requests = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return len(self._owner)
+
+    def owner_of(self, core_id: int) -> int:
+        return self._owner[core_id]
+
+    def cores_of(self, service_id: int) -> list[int]:
+        """Cores currently owned by *service_id* (ascending id)."""
+        return [c for c, s in enumerate(self._owner) if s == service_id]
+
+    def initial_allocation(self) -> dict[int, list[int]]:
+        """Service -> cores mapping (used to seed the map tables)."""
+        out: dict[int, list[int]] = {}
+        for core, sid in enumerate(self._owner):
+            out.setdefault(sid, []).append(core)
+        return out
+
+    # ------------------------------------------------------------------
+    # quietness tracking (driven per routed packet by the scheduler)
+    # ------------------------------------------------------------------
+    def note_load(self, core_id: int, occupancy: int, t_ns: int) -> None:
+        """Observe the core's queue occupancy at *t_ns* (called by the
+        scheduler for the core each packet is routed to)."""
+        if occupancy >= self.busy_occupancy:
+            self._last_busy_ns[core_id] = t_ns
+
+    def touch(self, core_id: int, t_ns: int) -> None:
+        """Unconditionally mark the core busy (granted cores are about
+        to receive load; their quiet history no longer applies)."""
+        self._last_busy_ns[core_id] = t_ns
+
+    def is_surplus(self, core_id: int, t_ns: int) -> bool:
+        """True when the core has had no real backlog for the idle
+        threshold."""
+        return t_ns - self._last_busy_ns[core_id] >= self.idle_threshold_ns
+
+    def surplus_cores(self, t_ns: int, service_id: int | None = None) -> list[int]:
+        """Surplus cores (optionally of one service), longest-quiet
+        first."""
+        cores = [
+            (self._last_busy_ns[core], core)
+            for core in range(len(self._owner))
+            if t_ns - self._last_busy_ns[core] >= self.idle_threshold_ns
+            and (service_id is None or self._owner[core] == service_id)
+        ]
+        cores.sort()
+        return [core for _, core in cores]
+
+    # ------------------------------------------------------------------
+    def request_core(self, service_id: int, t_ns: int) -> CoreTransfer | None:
+        """Grant the requesting service one more core, or None.
+
+        Order of preference (Sec. III-C/D):
+
+        1. the service's own longest-quiet surplus core — unmarked in
+           place (no map-table change, no context switch);
+        2. the longest-quiet surplus core of any other service —
+           ownership moves, the caller must update both map tables;
+        3. nothing available — the request is denied (the system is
+           genuinely saturated).
+        """
+        own = self.surplus_cores(t_ns, service_id)
+        if own:
+            core = own[0]
+            self.touch(core, t_ns)  # unmark
+            self.internal_reclaims += 1
+            return CoreTransfer(core, service_id, service_id)
+        everyone = self.surplus_cores(t_ns)
+        # never strip a donor's last core: each service keeps >= 1
+        donors = [
+            c
+            for c in everyone
+            if self._owner[c] != service_id
+            and len(self.cores_of(self._owner[c])) > 1
+        ]
+        if not donors:
+            self.denied_requests += 1
+            return None
+        core = donors[0]
+        donor = self._owner[core]
+        self._owner[core] = service_id
+        self.touch(core, t_ns)
+        self.transfers += 1
+        return CoreTransfer(core, donor, service_id)
+
+    def force_transfer(self, core_id: int, to_service: int) -> CoreTransfer:
+        """Unconditionally reassign a core (administrative/test hook)."""
+        donor = self._owner[core_id]
+        if donor == to_service:
+            raise SchedulerError(f"core {core_id} already owned by {to_service}")
+        if len(self.cores_of(donor)) <= 1:
+            raise SchedulerError(
+                f"cannot strip service {donor} of its last core"
+            )
+        self._owner[core_id] = to_service
+        self.transfers += 1
+        return CoreTransfer(core_id, donor, to_service)

@@ -1,0 +1,235 @@
+"""LAPS — the Locality Aware Packet Scheduler (paper Sec. III).
+
+Per arriving packet (Sec. III-E):
+
+1. **Migration table first**: a migrated flow goes where the migration
+   table says (exact match overrides the hash).
+2. Otherwise the packet's CRC16 hash indexes the **per-service map
+   table** (incremental hashing over the service's bucket list).
+3. The **AFD** observes the packet in the background (optionally
+   sampled).
+4. If the hash target is overloaded (queue ≥ ``high_threshold``), the
+   load balancer of Listing 1 runs: find the service's least-loaded
+   core; if it has headroom and the flow hits in the AFC, migrate the
+   flow there (and invalidate its AFC entry); if *no* core of the
+   service has headroom, ``request_core()`` — the allocator donates the
+   longest-surplus core of another service, both map tables are updated
+   via incremental hashing, and the packet is re-looked-up.
+
+Cores whose queues drain start an idle timer (``on_queue_empty``); once
+past ``idle_threshold_ns`` they become surplus and can be donated
+(Sec. III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.afd import AFDConfig, AggressiveFlowDetector
+from repro.core.allocator import CoreAllocator
+from repro.core.map_table import ServiceMapTable
+from repro.core.migration import MigrationTable
+from repro.errors import ConfigError
+from repro.schedulers.base import Scheduler, register_scheduler
+from repro import units
+
+__all__ = ["LAPSConfig", "LAPSScheduler"]
+
+
+@dataclass(frozen=True)
+class LAPSConfig:
+    """LAPS policy knobs.
+
+    ``high_threshold`` is the queue occupancy (in descriptors) at which
+    a core counts as overloaded; the paper uses a threshold on the
+    32-descriptor input queues.  ``idle_threshold_ns`` is the
+    ``idle_th`` of Sec. III-D.  ``migration_table_entries`` bounds the
+    exact-match override CAM.
+    """
+
+    num_services: int = 4
+    high_threshold: int = 24
+    idle_threshold_ns: int = units.us(200)
+    migration_table_entries: int = 256
+    pin_weight: int = 16
+    #: The scheduling AFD raises the promotion threshold above the
+    #: detection-experiment default: a migrated elephant must re-earn
+    #: its AFC slot with 64 annex hits, which bounds how often any flow
+    #: can migrate (the paper's "minimum flow migrations" goal).
+    afd: AFDConfig = field(default_factory=lambda: AFDConfig(promote_threshold=64))
+
+    def __post_init__(self) -> None:
+        if self.num_services <= 0:
+            raise ConfigError(f"num_services must be positive, got {self.num_services}")
+        if self.high_threshold <= 0:
+            raise ConfigError(f"high_threshold must be positive, got {self.high_threshold}")
+        if self.idle_threshold_ns < 0:
+            raise ConfigError(f"idle_threshold_ns must be >= 0, got {self.idle_threshold_ns}")
+        if self.migration_table_entries <= 0:
+            raise ConfigError(
+                f"migration_table_entries must be positive, got {self.migration_table_entries}"
+            )
+        if self.pin_weight < 0:
+            raise ConfigError(f"pin_weight must be >= 0, got {self.pin_weight}")
+
+
+@register_scheduler("laps")
+class LAPSScheduler(Scheduler):
+    """The paper's scheduler.  See module docstring for the algorithm."""
+
+    def __init__(
+        self,
+        config: LAPSConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or LAPSConfig()
+        self._rng = rng
+        self.afd = AggressiveFlowDetector(self.config.afd, rng=rng)
+        self.migration = MigrationTable(self.config.migration_table_entries)
+        self.allocator: CoreAllocator | None = None
+        self.map_tables: dict[int, ServiceMapTable] = {}
+        # counters
+        self.imbalance_events = 0
+        self.migrations_installed = 0
+        self.core_requests = 0
+        self.core_requests_denied = 0
+        self.stale_migrations_dropped = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, loads) -> None:
+        super().bind(loads)
+        cfg = self.config
+        if loads.num_cores < cfg.num_services:
+            raise ConfigError(
+                f"{loads.num_cores} cores cannot host {cfg.num_services} services"
+            )
+        if cfg.high_threshold > loads.queue_capacity:
+            raise ConfigError(
+                f"high_threshold {cfg.high_threshold} exceeds queue capacity "
+                f"{loads.queue_capacity}"
+            )
+        self.allocator = CoreAllocator(
+            loads.num_cores, cfg.num_services, cfg.idle_threshold_ns
+        )
+        self.map_tables = {
+            sid: ServiceMapTable(sid, cores)
+            for sid, cores in self.allocator.initial_allocation().items()
+        }
+        self.migration.clear()
+        self.afd.reset()
+
+    # ------------------------------------------------------------------
+    def select_core(
+        self, flow_id: int, service_id: int, flow_hash: int, t_ns: int
+    ) -> int:
+        cfg = self.config
+        table = self.map_tables[service_id]
+        allocator = self.allocator
+
+        # background AFD update (not on the critical path in hardware)
+        self.afd.observe(flow_id)
+
+        # 1. migration table has priority over the map table (Sec. III-E
+        # step 1): a migrated flow stays pinned.  Re-balancing it on
+        # every overload would hot-potato elephants between cores,
+        # paying the FM penalty and reordering on every hop.
+        pinned = self.migration.lookup(flow_id)
+        if pinned is not None:
+            if allocator.owner_of(pinned) == service_id:
+                allocator.note_load(pinned, self.loads.occupancy(pinned), t_ns)
+                return pinned
+            # the pinned core was donated away: entry is stale
+            self.migration.remove(flow_id)
+            self.stale_migrations_dropped += 1
+
+        # 2. default hash lookup
+        target = table.lookup(flow_hash)
+        allocator.note_load(target, self.loads.occupancy(target), t_ns)
+
+        # 3. load-balancing path (Listing 1)
+        if self.loads.occupancy(target) >= cfg.high_threshold:
+            self.imbalance_events += 1
+            minq_core = self._min_queue_core(table.cores)
+            if self.loads.occupancy(minq_core) < cfg.high_threshold:
+                if self.afd.is_aggressive(flow_id):
+                    dest = self._placement_target(table.cores, cfg.high_threshold)
+                    if dest is not None and dest != target:
+                        self.migration.add(flow_id, dest)
+                        self.afd.invalidate(flow_id)
+                        self.migrations_installed += 1
+                        return dest
+            else:
+                # every core of this service is overloaded: none of them
+                # can be surplus, so record that before asking for help
+                for core in table.cores:
+                    allocator.touch(core, t_ns)
+                granted = self._request_core(service_id, t_ns)
+                if granted:
+                    target = table.lookup(flow_hash)
+        return target
+
+    def _placement_target(self, cores, high_threshold: int) -> int | None:
+        """Destination core for a migrating elephant.
+
+        ``findMinQ`` by occupancy, with one refinement: cores that the
+        migration table has already steered elephants to are penalised
+        (``pin_weight`` queue slots per pinned flow), because the queue
+        of a core that received an elephant microseconds ago has not
+        caught up with its new load yet — naive instantaneous-minq
+        placement dumps several elephants onto the same core during one
+        overload burst and the pins then keep them there.
+        """
+        loads = self.loads
+        pin_weight = self.config.pin_weight
+        best = None
+        best_score = None
+        for c in cores:
+            occ = loads.occupancy(c)
+            if occ >= high_threshold:
+                continue
+            score = occ + pin_weight * self.migration.pins_on(c)
+            if best_score is None or score < best_score:
+                best, best_score = c, score
+        return best
+
+    # ------------------------------------------------------------------
+    def _request_core(self, service_id: int, t_ns: int) -> bool:
+        """``request_core()`` of Listing 1; returns True when a core was
+        added to the service's map table."""
+        self.core_requests += 1
+        transfer = self.allocator.request_core(service_id, t_ns)
+        if transfer is None:
+            self.core_requests_denied += 1
+            return False
+        if transfer.is_internal:
+            # surplus core of the same service unmarked: it is already
+            # in the map table and keeps its buckets
+            return False
+        donor_table = self.map_tables[transfer.donor_service]
+        donor_table.remove_core(transfer.core_id)
+        # migrated flows pointing at the donated core are now invalid
+        self.stale_migrations_dropped += len(self.migration.drop_core(transfer.core_id))
+        self.map_tables[service_id].add_core(transfer.core_id)
+        return True
+
+    # ------------------------------------------------------------------
+    def cores_of(self, service_id: int) -> tuple[int, ...]:
+        """Current bucket list of a service (diagnostics)."""
+        return self.map_tables[service_id].cores
+
+    def stats(self) -> dict[str, float]:
+        alloc = self.allocator
+        return {
+            "imbalance_events": self.imbalance_events,
+            "migrations_installed": self.migrations_installed,
+            "core_requests": self.core_requests,
+            "core_requests_denied": self.core_requests_denied,
+            "core_transfers": alloc.transfers if alloc else 0,
+            "internal_reclaims": alloc.internal_reclaims if alloc else 0,
+            "stale_migrations_dropped": self.stale_migrations_dropped,
+            "afd_promotions": self.afd.promotions,
+            "migration_table_evictions": self.migration.evictions,
+        }

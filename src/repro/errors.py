@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "TraceFormatError",
+    "SimulationError",
+    "SchedulerError",
+    "CapacityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class TraceError(ReproError):
+    """Base class for trace-related failures."""
+
+
+class TraceFormatError(TraceError, ValueError):
+    """A trace file or byte stream does not conform to its format."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """A scheduler was driven through an invalid sequence of operations."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A resource request exceeded available capacity (e.g. no free core)."""

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+========  ====================================================
+module    reproduces
+========  ====================================================
+fig2      Fig. 2 — flow rank-size distribution of the traces
+fig7      Fig. 7(a-c) — drops / cold-cache / OOO for FCFS, AFS
+          and LAPS over scenarios T1-T8 (Tables IV-VI)
+fig8      Fig. 8(a-c) — AFD accuracy vs annex size, check
+          interval and sampling probability
+fig9      Fig. 9(a-c) — benefit of migrating only top-k flows,
+          relative to AFS
+timing    Sec. III-G — scheduler critical-path timing
+========  ====================================================
+
+Every ``run_*`` function takes a ``quick`` flag (small sizes for CI) and
+returns a result object with ``.rows`` (list of dicts) and
+``.format()`` (the printable table).  ``python -m repro.experiments``
+drives them from the command line.
+"""
+
+from repro.experiments.params import (
+    PARAM_SETS,
+    SCENARIOS,
+    TRACE_GROUPS,
+    Scenario,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.experiments import fig2, fig7, fig8, fig9, timing
+
+__all__ = [
+    "PARAM_SETS",
+    "SCENARIOS",
+    "TRACE_GROUPS",
+    "Scenario",
+    "ExperimentResult",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "timing",
+]

@@ -1,0 +1,198 @@
+"""Ablations of LAPS's design choices (DESIGN.md §6).
+
+Each function sweeps one knob on the Fig. 9 single-service setup
+(16 cores, IP forwarding, ~105% offered load) and returns an
+:class:`~repro.experiments.runner.ExperimentResult`:
+
+* :func:`run_promote_threshold` — AFD promotion threshold: detection
+  aggressiveness vs promotion churn;
+* :func:`run_queue_depth` — the 32-descriptor queue choice ([32]);
+* :func:`run_migration_table` — pin-table capacity: eviction causes
+  migrated elephants to bounce back to their hash core;
+* :func:`run_pin_weight` — naive instantaneous-minq placement vs
+  pin-aware placement;
+* :func:`run_restoration` — order restoration at egress (Sec. VI's
+  alternative [35]) on an FCFS-scrambled departure stream;
+* :func:`run_power_gating` — energy head-room from gating the idle
+  capacity LAPS's surplus tracking exposes ([20]/[29]).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.afd import AFDConfig
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.experiments.fig9 import single_service_workload
+from repro.experiments.runner import ExperimentResult
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.config import SimConfig
+from repro.sim.power import PowerModel
+from repro.sim.restoration import restoration_cost
+from repro.sim.system import simulate
+
+__all__ = [
+    "run_promote_threshold",
+    "run_queue_depth",
+    "run_migration_table",
+    "run_pin_weight",
+    "run_restoration",
+    "run_power_gating",
+    "run",
+]
+
+
+def _workload(quick: bool, **kw):
+    kw.setdefault("duration_ns", units.ms(6) if quick else units.ms(15))
+    kw.setdefault("trace_packets", 80_000 if quick else 200_000)
+    return single_service_workload("caida-1", **kw)
+
+
+def _laps(**cfg_kw) -> LAPSScheduler:
+    cfg_kw.setdefault("num_services", 1)
+    cfg_kw.setdefault("migration_table_entries", 4096)
+    cfg_kw.setdefault("afd", AFDConfig(promote_threshold=64))
+    return LAPSScheduler(LAPSConfig(**cfg_kw), rng=1)
+
+
+def run_promote_threshold(
+    quick: bool = False,
+    thresholds: tuple[int, ...] = (8, 16, 32, 64, 128),
+) -> ExperimentResult:
+    """Sweep the AFD's annex promotion threshold."""
+    workload, config = _workload(quick)
+    result = ExperimentResult(
+        "Ablation - AFD promote threshold (LAPS, 105% load)",
+        columns=["threshold", "dropped", "ooo", "migrations", "promotions"],
+        meta={"quick": quick},
+    )
+    for threshold in thresholds:
+        sched = _laps(afd=AFDConfig(promote_threshold=threshold))
+        rep = simulate(workload, sched, config)
+        result.add(
+            threshold=threshold, dropped=rep.dropped, ooo=rep.out_of_order,
+            migrations=rep.flow_migration_events,
+            promotions=int(rep.scheduler_stats["afd_promotions"]),
+        )
+    return result
+
+
+def run_queue_depth(
+    quick: bool = False,
+    depths: tuple[int, ...] = (16, 32, 64, 128),
+) -> ExperimentResult:
+    """Sweep the per-core input queue capacity."""
+    result = ExperimentResult(
+        "Ablation - input queue depth (LAPS, 105% load)",
+        columns=["queue_depth", "dropped", "ooo", "p_drop"],
+        meta={"quick": quick},
+    )
+    for depth in depths:
+        workload, base = _workload(quick)
+        config = SimConfig(
+            num_cores=base.num_cores, queue_capacity=depth,
+            services=base.services, collect_latencies=False,
+        )
+        sched = _laps(high_threshold=int(depth * 0.75))
+        rep = simulate(workload, sched, config)
+        result.add(queue_depth=depth, dropped=rep.dropped,
+                   ooo=rep.out_of_order, p_drop=round(rep.drop_fraction, 4))
+    return result
+
+
+def run_migration_table(
+    quick: bool = False,
+    capacities: tuple[int, ...] = (8, 32, 128, 1024),
+) -> ExperimentResult:
+    """Sweep the migration (pin) table capacity."""
+    workload, config = _workload(quick)
+    result = ExperimentResult(
+        "Ablation - migration table capacity (LAPS, 105% load)",
+        columns=["entries", "dropped", "ooo", "migrations", "evictions"],
+        meta={"quick": quick},
+    )
+    for entries in capacities:
+        rep = simulate(workload, _laps(migration_table_entries=entries), config)
+        result.add(
+            entries=entries, dropped=rep.dropped, ooo=rep.out_of_order,
+            migrations=rep.flow_migration_events,
+            evictions=int(rep.scheduler_stats["migration_table_evictions"]),
+        )
+    return result
+
+
+def run_pin_weight(
+    quick: bool = False,
+    weights: tuple[int, ...] = (0, 8, 16, 32),
+) -> ExperimentResult:
+    """Sweep the pin-aware placement penalty (0 = the paper's literal
+    findMinQ)."""
+    workload, config = _workload(quick)
+    result = ExperimentResult(
+        "Ablation - pin-aware placement weight (LAPS, 105% load)",
+        columns=["pin_weight", "dropped", "ooo", "migrated_flows"],
+        meta={"quick": quick},
+    )
+    for weight in weights:
+        rep = simulate(workload, _laps(pin_weight=weight), config)
+        result.add(pin_weight=weight, dropped=rep.dropped,
+                   ooo=rep.out_of_order, migrated_flows=rep.migrated_flows)
+    return result
+
+
+def run_restoration(
+    quick: bool = False,
+    buffers: tuple[int | None, ...] = (16, 64, 256, None),
+) -> ExperimentResult:
+    """Order restoration at egress behind a reorder-happy scheduler."""
+    workload, base = _workload(quick)
+    config = SimConfig(
+        num_cores=base.num_cores, services=base.services,
+        collect_latencies=False, record_departures=True,
+    )
+    rep = simulate(workload, FCFSScheduler(), config)
+    result = ExperimentResult(
+        "Ablation - order restoration at egress (FCFS upstream)",
+        columns=["buffer", "residual_ooo", "max_occupancy"],
+        meta={"quick": quick, "upstream_ooo": rep.out_of_order},
+    )
+    for cap in buffers:
+        res = restoration_cost(rep.departures, capacity=cap,
+                               drops=rep.drop_records)
+        result.add(
+            buffer="unbounded" if cap is None else cap,
+            residual_ooo=res.residual_out_of_order,
+            max_occupancy=res.max_occupancy,
+        )
+    return result
+
+
+def run_power_gating(
+    quick: bool = False,
+    gating_fractions: tuple[float, ...] = (0.0, 0.5, 0.9),
+) -> ExperimentResult:
+    """Energy under idle-capacity gating at 60% load."""
+    workload, config = _workload(quick, utilisation=0.6)
+    rep = simulate(workload, _laps(), config)
+    model = PowerModel()
+    result = ExperimentResult(
+        "Ablation - power gating of idle capacity (60% load)",
+        columns=["gating_fraction", "energy_j", "savings"],
+        meta={"quick": quick},
+    )
+    for frac in gating_fractions:
+        pr = model.evaluate(rep, gating_fraction=frac)
+        result.add(gating_fraction=frac, energy_j=round(pr.total_j, 4),
+                   savings=round(pr.savings_fraction, 4))
+    return result
+
+
+def run(quick: bool = False) -> list[ExperimentResult]:
+    """All ablations."""
+    return [
+        run_promote_threshold(quick=quick),
+        run_queue_depth(quick=quick),
+        run_migration_table(quick=quick),
+        run_pin_weight(quick=quick),
+        run_restoration(quick=quick),
+        run_power_gating(quick=quick),
+    ]

@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro.experiments`` /
+``repro-experiments``.
+
+Runs the selected experiment harnesses and prints their tables; with
+``--json DIR`` each result is also written as JSON for archival
+(EXPERIMENTS.md links to these outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ablations, fig2, fig7, fig8, fig9, timing
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "fig2": lambda quick, jobs: fig2.run(quick=quick),
+    "fig7": lambda quick, jobs: [fig7.run(quick=quick, jobs=jobs)],
+    "fig8": lambda quick, jobs: fig8.run(quick=quick),
+    "fig9": lambda quick, jobs: [fig9.run(quick=quick, jobs=jobs)],
+    "timing": lambda quick, jobs: timing.run(quick=quick),
+    "ablations": lambda quick, jobs: ablations.run(quick=quick),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*_EXPERIMENTS, "all"],
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes (seconds instead of minutes; used by CI)",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write each result as JSON into DIR",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel worker processes for fig7/fig9 (0 = auto)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or ["all"]
+    names = list(_EXPERIMENTS) if "all" in selected else selected
+    json_dir = Path(args.json) if args.json else None
+    if json_dir:
+        json_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        t0 = time.perf_counter()
+        results = _EXPERIMENTS[name](args.quick, args.jobs)
+        elapsed = time.perf_counter() - t0
+        for i, result in enumerate(results):
+            print(result.format())
+            print()
+            if json_dir:
+                stem = name if len(results) == 1 else f"{name}_{i}"
+                result.to_json(json_dir / f"{stem}.json")
+        if name == "fig7":
+            head = fig7.headline(results[0])
+            print(
+                f"[headline] LAPS vs best baseline: "
+                f"{head['drop_improvement']:.0%} fewer drops, "
+                f"{head['ooo_improvement']:.0%} fewer out-of-order packets "
+                f"(paper claims 60% / 80%)"
+            )
+            print()
+        print(f"[{name} done in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Fig. 9 — benefit of migrating only the top flows, relative to AFS.
+
+Setup per Sec. V-C: a single active service (IP forwarding), 16 cores,
+offered load slightly above 100% of ideal capacity, real-trace flow
+mixes.  Compared policies:
+
+* ``none``      — static hash, no migration (the "lot more packets
+  lost" extreme);
+* ``afs``       — arbitrary flow shift (the relative baseline = 1.0);
+* ``top-k``     — hash + migrate-on-overload gated on exact top-k
+  membership, k in {1, 4, 8, 10, 16};
+* ``laps-afd``  — the same balancer driven by the real two-level AFD.
+
+Three panels from the same runs, all relative to AFS: (a) packets
+dropped, (b) out-of-order packets, (c) flow migrations.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.afd import AFDConfig
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.experiments.runner import ExperimentResult
+from repro.net.service import Service, ServiceSet
+from repro.schedulers.afs import AFSScheduler
+from repro.schedulers.hash_static import StaticHashScheduler
+from repro.schedulers.oracle import ExactTopKDetector, TopKMigrationScheduler
+from repro.sim.config import SimConfig
+from repro.sim.generator import HoltWintersParams
+from repro.sim.system import simulate
+from repro.sim.workload import build_workload
+from repro.trace.models import TRIMODAL_INTERNET_SIZES
+from repro.trace.synthetic import preset_trace
+from repro.util.parallel import parallel_map
+
+__all__ = ["run", "DEFAULT_TRACES", "K_SWEEP", "single_service_workload"]
+
+DEFAULT_TRACES = ("caida-1", "caida-2", "auck-1", "auck-2")
+K_SWEEP = (1, 4, 8, 10, 16)
+
+
+def single_service_workload(
+    trace_name: str,
+    *,
+    num_cores: int = 16,
+    utilisation: float = 1.05,
+    duration_ns: int = units.ms(15),
+    trace_packets: int = 200_000,
+    seed: int = 7,
+):
+    """IP-forwarding-only workload at *utilisation* of ideal capacity."""
+    service = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    trace = preset_trace(trace_name, num_packets=trace_packets)
+    capacity = service.capacity_pps([num_cores], TRIMODAL_INTERNET_SIZES.mean)
+    params = [HoltWintersParams(a=utilisation * capacity)]
+    workload = build_workload([trace], params, duration_ns=duration_ns, seed=seed)
+    config = SimConfig(num_cores=num_cores, services=service, collect_latencies=False)
+    return workload, config
+
+
+def _trace_task(args: tuple) -> list[dict]:
+    """All policies for one trace (module-level for pickling)."""
+    name, k_sweep, duration_ns, trace_packets, seed = args
+    workload, config = single_service_workload(
+        name, duration_ns=duration_ns, trace_packets=trace_packets, seed=seed
+    )
+    baseline = simulate(
+        workload, AFSScheduler(cooldown_ns=units.us(100)), config
+    )
+    rows: list[dict] = []
+
+    def emit(policy: str, rep) -> None:
+        rel = rep.relative_to(baseline)
+        rows.append(dict(
+            trace=name, policy=policy,
+            dropped=rep.dropped, ooo=rep.out_of_order,
+            flow_migrations=rep.flow_migration_events,
+            drop_rel_afs=round(rel["dropped"], 4),
+            ooo_rel_afs=round(rel["out_of_order"], 4),
+            migrations_rel_afs=round(rel["flow_migrations"], 4),
+        ))
+
+    emit("afs", baseline)
+    emit("none", simulate(workload, StaticHashScheduler(), config))
+    for k in k_sweep:
+        sched = TopKMigrationScheduler(
+            detector=ExactTopKDetector(k), migration_table_entries=4096
+        )
+        emit(f"top-{k}", simulate(workload, sched, config))
+    laps = LAPSScheduler(
+        LAPSConfig(
+            num_services=1,
+            migration_table_entries=4096,
+            afd=AFDConfig(promote_threshold=64),
+        ),
+        rng=seed,
+    )
+    emit("laps-afd", simulate(workload, laps, config))
+    return rows
+
+
+def run(
+    quick: bool = False,
+    traces: tuple[str, ...] = DEFAULT_TRACES,
+    k_sweep: tuple[int, ...] = K_SWEEP,
+    seed: int = 7,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """Fig. 9(a-c): every policy on every trace, relative to AFS.
+
+    ``jobs`` parallelises across traces with a process pool (0 = auto).
+    """
+    duration_ns = units.ms(4) if quick else units.ms(15)
+    trace_packets = 50_000 if quick else 200_000
+    if quick:
+        traces = traces[:2]
+
+    result = ExperimentResult(
+        "Fig. 9 - migrating only top flows, relative to AFS",
+        columns=[
+            "trace", "policy",
+            "dropped", "ooo", "flow_migrations",
+            "drop_rel_afs", "ooo_rel_afs", "migrations_rel_afs",
+        ],
+        meta={"quick": quick, "utilisation": 1.05, "seed": seed},
+    )
+    tasks = [
+        (name, tuple(k_sweep), duration_ns, trace_packets, seed)
+        for name in traces
+    ]
+    for rows in parallel_map(_trace_task, tasks, jobs=jobs):
+        for row in rows:
+            result.add(**row)
+    return result

@@ -1,0 +1,117 @@
+"""Shared experiment plumbing: result container, workload assembly."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import units
+from repro.experiments.params import Scenario, scaled_params
+from repro.net.service import ServiceSet, default_services
+from repro.sim.config import SimConfig
+from repro.sim.workload import Workload, build_workload
+from repro.trace.models import TRIMODAL_INTERNET_SIZES
+from repro.trace.synthetic import preset_trace
+from repro.util.tables import format_table
+
+__all__ = ["ExperimentResult", "scenario_workload", "scenario_config"]
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results with provenance.
+
+    ``rows`` are dicts sharing the key set of ``columns``; ``meta``
+    records the knobs that produced them (sizes, seeds, scaling), so
+    EXPERIMENTS.md entries are reproducible from the printed output.
+    """
+
+    experiment: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def add(self, **row) -> None:
+        missing = set(self.columns) - row.keys()
+        if missing:
+            raise ValueError(f"row missing columns {sorted(missing)}")
+        self.rows.append({c: row[c] for c in self.columns})
+
+    def format(self, float_fmt: str = ".4g") -> str:
+        title = f"== {self.experiment} =="
+        if self.meta:
+            meta = ", ".join(f"{k}={v}" for k, v in self.meta.items())
+            title += f"\n({meta})"
+        return format_table(
+            self.columns,
+            [[row[c] for c in self.columns] for row in self.rows],
+            float_fmt=float_fmt,
+            title=title,
+        )
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise (rows + meta) to JSON; optionally write to *path*."""
+        payload = json.dumps(
+            {
+                "experiment": self.experiment,
+                "meta": self.meta,
+                "columns": self.columns,
+                "rows": self.rows,
+            },
+            indent=2,
+            default=str,
+        )
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload
+
+
+def scenario_config(
+    num_cores: int = 16,
+    services: ServiceSet | None = None,
+    collect_latencies: bool = False,
+) -> SimConfig:
+    """The paper's evaluation platform (16 cores, 32-deep queues)."""
+    return SimConfig(
+        num_cores=num_cores,
+        services=services or default_services(),
+        collect_latencies=collect_latencies,
+    )
+
+
+def scenario_workload(
+    scenario: Scenario,
+    *,
+    num_cores: int = 16,
+    duration_ns: int = units.ms(60),
+    trace_packets: int = 100_000,
+    seed: int = 0,
+    time_compression: float = 1000.0,
+    services: ServiceSet | None = None,
+) -> Workload:
+    """Build the Table VI scenario's workload at the compressed scale.
+
+    The paper's 60 s runs become ``duration_ns`` (default 60 ms: the
+    default ``time_compression`` of 1000 maps seconds to milliseconds).
+    """
+    services = services or default_services()
+    traces = [preset_trace(n, num_packets=trace_packets) for n in scenario.trace_names]
+    mean_size = TRIMODAL_INTERNET_SIZES.mean
+    per_service = num_cores // len(services)
+    capacities = [
+        per_service * services[i].capacity_pps(mean_size)
+        for i in range(len(services))
+    ]
+    params = scaled_params(
+        scenario.params,
+        capacities_pps=capacities,
+        utilisation=scenario.utilisation,
+        duration_s=duration_ns / units.SEC,
+        time_compression=time_compression,
+    )
+    return build_workload(traces, params, duration_ns=duration_ns, seed=seed)

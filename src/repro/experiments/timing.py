@@ -1,0 +1,70 @@
+"""Sec. III-G — critical-path timing of the LAPS front end.
+
+Reproduces the argument that ``hash -> map table -> mux`` sustains at
+least 200 Mpps with the paper's FPGA CRC16 figure (200 MHz => 5 ns),
+and that faster ASIC hash implementations scale the design beyond
+100 Gbps line rates.  Table III's core configuration is printed for
+reference alongside.
+"""
+
+from __future__ import annotations
+
+from repro.core.timing import LAPSTimingModel
+from repro.experiments.runner import ExperimentResult
+from repro.sim.latency import TABLE_III_CORE
+
+__all__ = ["run_critical_path", "run_table3", "run"]
+
+
+def run_critical_path(
+    hash_speeds_ns: tuple[float, ...] = (5.0, 2.5, 1.0),
+    map_entries: tuple[int, ...] = (64, 256, 1024),
+) -> ExperimentResult:
+    """Critical-path delay and sustainable rate across design points.
+
+    ``hash_ns=5`` is the paper's FPGA datapoint; 2.5/1.0 ns model ASIC
+    implementations (the paper's scalability claim).
+    """
+    result = ExperimentResult(
+        "Sec. III-G - LAPS critical path and sustainable rate",
+        columns=[
+            "hash_ns", "map_entries", "map_table_ns",
+            "latency_ns", "max_rate_mpps", "sustains_100gbps",
+        ],
+        meta={"mux_ns": 0.2},
+    )
+    for hash_ns in hash_speeds_ns:
+        for entries in map_entries:
+            model = LAPSTimingModel(hash_ns=hash_ns, map_table_entries=entries)
+            b = model.breakdown()
+            result.add(
+                hash_ns=hash_ns,
+                map_entries=entries,
+                map_table_ns=round(b["map_table_ns"], 3),
+                latency_ns=round(b["critical_path_ns"], 3),
+                max_rate_mpps=round(b["max_rate_mpps"], 1),
+                # 100 Gbps of mixed-size packets ~= 100 Mpps (Sec. III-G)
+                sustains_100gbps=b["max_rate_mpps"] >= 100.0,
+            )
+    return result
+
+
+def run_table3() -> ExperimentResult:
+    """Table III: the data-plane core configuration (reference)."""
+    core = TABLE_III_CORE
+    result = ExperimentResult(
+        "Table III - data plane core configuration",
+        columns=["parameter", "value"],
+    )
+    result.add(parameter="frequency", value=f"{core.frequency_ghz} GHz")
+    result.add(parameter="pipeline", value=f"{core.pipeline_stages} stage, "
+               f"{core.issue_width}-issue in-order")
+    result.add(parameter="branch predictor", value=core.branch_predictor)
+    result.add(parameter="I-cache", value=f"{core.icache_kb} KB, {core.icache_ways} way")
+    result.add(parameter="D-cache", value=f"{core.dcache_kb} KB, {core.dcache_ways} way")
+    return result
+
+
+def run(quick: bool = False) -> list[ExperimentResult]:
+    """Both timing tables (``quick`` has no effect; they are analytic)."""
+    return [run_critical_path(), run_table3()]

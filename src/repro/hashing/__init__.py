@@ -1,0 +1,54 @@
+"""Hashing substrate: CRC family, 5-tuple flow keys, and the Toeplitz
+(RSS) hash used as a related-work comparison point.
+
+The paper hashes the 5-tuple with CRC16 (shown by Cao et al. to balance
+well on IP headers); :mod:`repro.hashing.crc` provides table-driven
+scalar and numpy-vectorised implementations.
+"""
+
+from repro.hashing.crc import (
+    CRC16_CCITT,
+    CRC16_IBM,
+    CRC32,
+    CRCSpec,
+    crc16_ccitt,
+    crc16_ibm,
+    crc32,
+    make_crc_table,
+)
+from repro.hashing.five_tuple import (
+    FiveTuple,
+    flow_hash,
+    flow_hash_batch,
+    pack_five_tuple,
+    pack_five_tuples_batch,
+)
+from repro.hashing.toeplitz import ToeplitzHasher, MICROSOFT_RSS_KEY
+from repro.hashing.quality import (
+    bucket_loads,
+    chi_square_pvalue,
+    hash_quality_report,
+    load_imbalance,
+)
+
+__all__ = [
+    "CRC16_CCITT",
+    "CRC16_IBM",
+    "CRC32",
+    "CRCSpec",
+    "crc16_ccitt",
+    "crc16_ibm",
+    "crc32",
+    "make_crc_table",
+    "FiveTuple",
+    "flow_hash",
+    "flow_hash_batch",
+    "pack_five_tuple",
+    "pack_five_tuples_batch",
+    "ToeplitzHasher",
+    "MICROSOFT_RSS_KEY",
+    "bucket_loads",
+    "chi_square_pvalue",
+    "hash_quality_report",
+    "load_imbalance",
+]

@@ -1,0 +1,34 @@
+"""Packet/flow/service substrate.
+
+Models the objects the scheduler reasons about: packet descriptors,
+flows (5-tuple equivalence classes with per-flow statistics), services
+(the processing paths of the Fig. 5 edge-router task graph), and the
+task graph itself.
+"""
+
+from repro.net.packet import Packet
+from repro.net.flow import FlowRecord, FlowTable
+from repro.net.classifier import MatchRule, ServiceClassifier, default_edge_rules
+from repro.net.service import Service, ServiceSet, default_services
+from repro.net.taskgraph import (
+    EDGE_ROUTER_TASKS,
+    TaskGraph,
+    build_edge_router_graph,
+    services_from_graph,
+)
+
+__all__ = [
+    "Packet",
+    "FlowRecord",
+    "FlowTable",
+    "MatchRule",
+    "ServiceClassifier",
+    "default_edge_rules",
+    "Service",
+    "ServiceSet",
+    "default_services",
+    "TaskGraph",
+    "EDGE_ROUTER_TASKS",
+    "build_edge_router_graph",
+    "services_from_graph",
+]

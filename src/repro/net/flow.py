@@ -1,0 +1,123 @@
+"""Flow records and the flow table.
+
+The flow table maps dense flow ids to their 5-tuple and running
+statistics (packets, bytes, last core).  The simulator uses it to detect
+flow migrations (a packet of flow *f* landing on a different core than
+the previous packet of *f* pays the FM penalty, paper eq. 3) and the
+offline analyser uses it to rank flows by size for AFD ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hashing.five_tuple import FiveTuple
+
+__all__ = ["FlowRecord", "FlowTable"]
+
+
+@dataclass(slots=True)
+class FlowRecord:
+    """Running per-flow state (one row of the :class:`FlowTable`)."""
+
+    flow_id: int
+    key: FiveTuple | None = None
+    service_id: int = -1
+    packets: int = 0
+    bytes: int = 0
+    first_ns: int = -1
+    last_ns: int = -1
+    last_core: int = -1
+    migrations: int = 0
+
+    def observe(self, size_bytes: int, t_ns: int) -> None:
+        """Account one packet of this flow at time *t_ns*."""
+        self.packets += 1
+        self.bytes += size_bytes
+        if self.first_ns < 0:
+            self.first_ns = t_ns
+        self.last_ns = t_ns
+
+    def assign_core(self, core_id: int) -> bool:
+        """Record that a packet of this flow was dispatched to *core_id*.
+
+        Returns True when this constitutes a migration (the previous
+        packet of the flow went to a different core).
+        """
+        migrated = self.last_core >= 0 and self.last_core != core_id
+        if migrated:
+            self.migrations += 1
+        self.last_core = core_id
+        return migrated
+
+    @property
+    def mean_rate_pps(self) -> float:
+        """Mean packet rate over the flow's observed lifetime (0 if
+        the flow spans a single instant)."""
+        if self.packets < 2 or self.last_ns <= self.first_ns:
+            return 0.0
+        return (self.packets - 1) / ((self.last_ns - self.first_ns) / 1e9)
+
+
+class FlowTable:
+    """Dense-id flow table.
+
+    Flow ids are assigned densely (0, 1, 2, ...) which lets the hot loop
+    index plain lists instead of hashing 5-tuples per packet.  The
+    5-tuple -> id mapping is kept for interning keys coming from traces.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[FlowRecord] = []
+        self._by_key: dict[FiveTuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, flow_id: int) -> FlowRecord:
+        return self._records[flow_id]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def intern(self, key: FiveTuple, service_id: int = -1) -> int:
+        """Return the dense id for *key*, creating a record on first use."""
+        flow_id = self._by_key.get(key)
+        if flow_id is None:
+            flow_id = len(self._records)
+            self._by_key[key] = flow_id
+            self._records.append(FlowRecord(flow_id, key=key, service_id=service_id))
+        return flow_id
+
+    def ensure(self, flow_id: int, service_id: int = -1) -> FlowRecord:
+        """Return the record for a pre-assigned dense id, growing the
+        table as needed (used when flow ids come straight from a trace)."""
+        if flow_id < 0:
+            raise ValueError(f"flow id must be >= 0, got {flow_id}")
+        while len(self._records) <= flow_id:
+            self._records.append(FlowRecord(len(self._records)))
+        rec = self._records[flow_id]
+        if rec.service_id < 0 and service_id >= 0:
+            rec.service_id = service_id
+        return rec
+
+    def lookup(self, key: FiveTuple) -> int | None:
+        """The dense id for *key*, or None if never seen."""
+        return self._by_key.get(key)
+
+    def top_by_bytes(self, k: int) -> list[FlowRecord]:
+        """The *k* largest flows by byte count (ties broken by flow id
+        for determinism)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return sorted(self._records, key=lambda r: (-r.bytes, r.flow_id))[:k]
+
+    def top_by_packets(self, k: int) -> list[FlowRecord]:
+        """The *k* largest flows by packet count."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return sorted(self._records, key=lambda r: (-r.packets, r.flow_id))[:k]
+
+    def total_migrations(self) -> int:
+        """Sum of per-flow migration counts."""
+        return sum(r.migrations for r in self._records)

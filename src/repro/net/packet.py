@@ -1,0 +1,77 @@
+"""Packet descriptors.
+
+The Frame Manager hands cores *command descriptors* (header + buffer
+pointer + metadata), not payloads; our :class:`Packet` models exactly
+that descriptor.  Inside the hot simulation loop packets are represented
+as indices into trace arrays — this class is the boundary object used by
+the public API, examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+
+@dataclass(slots=True)
+class Packet:
+    """A data-plane packet descriptor.
+
+    Attributes
+    ----------
+    flow_id:
+        Dense integer identifier of the packet's flow (an index into the
+        trace's flow table; the 5-tuple itself lives there).
+    service_id:
+        Which service (processing path) must handle this packet.
+    size_bytes:
+        Wire size, used by the per-byte terms of the latency model
+        (paper eq. 4-5).
+    seq:
+        Per-flow sequence number (0-based arrival order within the flow);
+        the reorder detector compares departure order against it.
+    arrival_ns:
+        Arrival timestamp at the scheduler, integer nanoseconds.
+    enqueue_ns / start_ns / depart_ns:
+        Filled in by the simulator as the packet moves through a core.
+        -1 until the corresponding event happens.
+    core_id:
+        Core that processed (or is processing) the packet; -1 before
+        dispatch, unchanged on drop.
+    dropped:
+        True when the packet was lost to a full input queue.
+    """
+
+    flow_id: int
+    service_id: int
+    size_bytes: int
+    seq: int
+    arrival_ns: int
+    enqueue_ns: int = field(default=-1)
+    start_ns: int = field(default=-1)
+    depart_ns: int = field(default=-1)
+    core_id: int = field(default=-1)
+    dropped: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+        if self.seq < 0:
+            raise ValueError(f"sequence number must be >= 0, got {self.seq}")
+        if self.arrival_ns < 0:
+            raise ValueError(f"arrival time must be >= 0, got {self.arrival_ns}")
+
+    @property
+    def latency_ns(self) -> int:
+        """Total in-system latency; -1 until the packet departs."""
+        if self.depart_ns < 0:
+            return -1
+        return self.depart_ns - self.arrival_ns
+
+    @property
+    def queueing_ns(self) -> int:
+        """Time spent waiting in the input queue; -1 until service starts."""
+        if self.start_ns < 0:
+            return -1
+        return self.start_ns - self.arrival_ns

@@ -1,0 +1,41 @@
+"""Scheduler implementations: the interface, the paper's baselines
+(FCFS, static hash, AFS) and reference comparators (exact top-k oracle,
+single-cache ElephantTrap detector).
+
+The LAPS scheduler itself lives in :mod:`repro.core.laps` (it is the
+paper's contribution); it implements the same
+:class:`~repro.schedulers.base.Scheduler` interface and is registered
+here under the name ``"laps"``.
+"""
+
+from repro.schedulers.base import (
+    LoadView,
+    Scheduler,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.hash_static import StaticHashScheduler
+from repro.schedulers.afs import AFSScheduler
+from repro.schedulers.adaptive_hash import AdaptiveHashScheduler
+from repro.schedulers.oracle import ExactTopKDetector, TopKMigrationScheduler
+from repro.schedulers.elephant_trap import ElephantTrap
+
+# importing registers "laps" via the decorator in repro.core.laps
+import repro.core.laps  # noqa: E402,F401
+
+__all__ = [
+    "LoadView",
+    "Scheduler",
+    "available_schedulers",
+    "make_scheduler",
+    "register_scheduler",
+    "FCFSScheduler",
+    "StaticHashScheduler",
+    "AFSScheduler",
+    "AdaptiveHashScheduler",
+    "ExactTopKDetector",
+    "TopKMigrationScheduler",
+    "ElephantTrap",
+]

@@ -1,0 +1,134 @@
+"""Scheduler interface and registry.
+
+A scheduler is consulted once per arriving packet and returns the target
+core; the simulator enqueues there (or drops the packet when the queue
+is full).  Schedulers see core load through a :class:`LoadView` so they
+stay decoupled from the simulator's internals, and receive queue
+empty/busy edge notifications so policies with idle timers (LAPS's core
+release, Sec. III-D) can keep time.
+
+Flow hashes are passed in pre-computed (the trace pipeline CRC16-hashes
+all flow keys in one vectorised batch) so per-packet work stays cheap;
+schedulers that want a different hash are free to ignore the argument.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Protocol
+
+from repro.errors import SchedulerError
+
+__all__ = [
+    "LoadView",
+    "Scheduler",
+    "register_scheduler",
+    "make_scheduler",
+    "available_schedulers",
+]
+
+
+class LoadView(Protocol):
+    """Read-only view of per-core input-queue occupancy."""
+
+    @property
+    def num_cores(self) -> int: ...
+
+    @property
+    def queue_capacity(self) -> int: ...
+
+    def occupancy(self, core_id: int) -> int: ...
+
+
+class Scheduler(ABC):
+    """Base class for packet schedulers.
+
+    Lifecycle: construct → :meth:`bind` (once, with the load view) →
+    per-packet :meth:`select_core` calls interleaved with queue-edge
+    notifications.  ``bind`` may be called again to reset the scheduler
+    onto a fresh system.
+    """
+
+    #: Registry name (set on subclasses via :func:`register_scheduler`).
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self._loads: LoadView | None = None
+
+    # ------------------------------------------------------------------
+    def bind(self, loads: LoadView) -> None:
+        """Attach to a system; called before the first packet."""
+        self._loads = loads
+
+    @property
+    def loads(self) -> LoadView:
+        if self._loads is None:
+            raise SchedulerError(f"{type(self).__name__} used before bind()")
+        return self._loads
+
+    @property
+    def is_bound(self) -> bool:
+        return self._loads is not None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def select_core(
+        self, flow_id: int, service_id: int, flow_hash: int, t_ns: int
+    ) -> int:
+        """Target core for one packet (must be in ``[0, num_cores)``)."""
+
+    def on_queue_empty(self, core_id: int, t_ns: int) -> None:
+        """The core's input queue just drained (idle-timer edge)."""
+
+    def on_queue_busy(self, core_id: int, t_ns: int) -> None:
+        """The core's input queue went non-empty again."""
+
+    def stats(self) -> dict[str, float]:
+        """Scheduler-internal counters for reports (override to extend)."""
+        return {}
+
+    # helpers shared by several policies ------------------------------
+    def _min_queue_core(self, cores) -> int:
+        """The least-loaded core of *cores* (lowest id wins ties)."""
+        loads = self.loads
+        best = None
+        best_occ = None
+        for c in cores:
+            occ = loads.occupancy(c)
+            if best_occ is None or occ < best_occ:
+                best, best_occ = c, occ
+        if best is None:
+            raise SchedulerError("empty core set")
+        return best
+
+
+_REGISTRY: dict[str, Callable[..., Scheduler]] = {}
+
+
+def register_scheduler(name: str):
+    """Class decorator: register a scheduler under *name*."""
+
+    def deco(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"scheduler {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_schedulers() -> list[str]:
+    """Names of all registered schedulers."""
+    return sorted(_REGISTRY)

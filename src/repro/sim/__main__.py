@@ -1,0 +1,5 @@
+"""``python -m repro.sim`` — see :mod:`repro.sim.cli`."""
+
+from repro.sim.cli import main
+
+raise SystemExit(main())

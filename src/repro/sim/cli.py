@@ -1,0 +1,145 @@
+"""Simulation CLI: ``python -m repro.sim``.
+
+Run a scheduler comparison from the command line without writing a
+script:
+
+    python -m repro.sim compare --trace caida-1 --cores 16 \\
+        --utilisation 1.05 --schedulers fcfs afs laps
+
+    python -m repro.sim compare --pcap capture.pcap.gz --duration-ms 10
+
+Single-service by default (IP forwarding); ``--multiservice`` runs the
+four-service edge router with the default classifier splitting the
+trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import units
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.net.classifier import default_edge_rules
+from repro.net.service import Service, ServiceSet, default_services
+from repro.schedulers.afs import AFSScheduler
+from repro.schedulers.base import Scheduler, available_schedulers, make_scheduler
+from repro.sim.config import SimConfig
+from repro.sim.generator import HoltWintersParams
+from repro.sim.system import simulate
+from repro.sim.workload import build_workload
+from repro.trace.models import TRIMODAL_INTERNET_SIZES
+from repro.trace.pcap import trace_from_pcap
+from repro.trace.synthetic import PRESETS, preset_trace
+from repro.trace.trace import Trace
+from repro.util.tables import format_table
+
+__all__ = ["main"]
+
+
+def _make_sched(name: str, num_services: int, seed: int) -> Scheduler:
+    if name == "laps":
+        return LAPSScheduler(LAPSConfig(num_services=num_services), rng=seed)
+    if name == "afs":
+        return AFSScheduler(cooldown_ns=units.us(100))
+    return make_scheduler(name)
+
+
+def _load_trace(args) -> Trace:
+    if args.pcap:
+        trace, counters = trace_from_pcap(args.pcap)
+        print(f"[pcap] {counters['total']} frames, "
+              f"{trace.num_packets} usable packets")
+        return trace
+    if args.trace in PRESETS:
+        return preset_trace(args.trace, num_packets=args.packets)
+    return Trace.load_npz(args.trace)
+
+
+def _cmd_compare(args) -> int:
+    trace = _load_trace(args)
+    duration = units.ms(args.duration_ms)
+    mean_size = float(trace.size_bytes.mean()) if trace.num_packets else \
+        TRIMODAL_INTERNET_SIZES.mean
+
+    if args.multiservice:
+        services = default_services()
+        parts = default_edge_rules().split_trace(trace)
+        per = max(1, args.cores // len(services))
+        traces, params = [], []
+        for sid, part in enumerate(parts):
+            if part.num_packets == 0:
+                part = trace  # fall back so every service has headers
+            traces.append(part)
+            cap = per * services[sid].capacity_pps(mean_size)
+            params.append(HoltWintersParams(a=args.utilisation * cap))
+        num_services = len(services)
+    else:
+        services = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+        cap = services.capacity_pps([args.cores], mean_size)
+        traces = [trace]
+        params = [HoltWintersParams(a=args.utilisation * cap)]
+        num_services = 1
+
+    workload = build_workload(traces, params, duration_ns=duration,
+                              seed=args.seed)
+    config = SimConfig(num_cores=args.cores, services=services,
+                       queue_capacity=args.queue_depth,
+                       collect_latencies=True)
+    print(f"[workload] {workload.num_packets} packets over "
+          f"{args.duration_ms} ms on {args.cores} cores "
+          f"(target utilisation {args.utilisation:.2f})\n")
+
+    rows = []
+    for name in args.schedulers:
+        rep = simulate(workload, _make_sched(name, num_services, args.seed),
+                       config)
+        rows.append([
+            name, rep.dropped, f"{rep.drop_fraction:.2%}",
+            rep.out_of_order, f"{rep.ooo_fraction:.3%}",
+            f"{rep.cold_cache_fraction:.1%}",
+            rep.flow_migration_events,
+            f"{rep.latency_ns['p99'] / 1e3:.0f}",
+        ])
+    print(format_table(
+        ["scheduler", "dropped", "drop %", "ooo", "ooo %", "cold %",
+         "migrations", "p99 us"],
+        rows,
+        title="scheduler comparison",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmp_p = sub.add_parser("compare", help="run schedulers on one workload")
+    src = cmp_p.add_mutually_exclusive_group()
+    src.add_argument("--trace", default="caida-1",
+                     help="preset name or trace .npz path")
+    src.add_argument("--pcap", type=Path, help="a pcap(.gz) capture")
+    cmp_p.add_argument("--packets", type=int, default=100_000,
+                       help="packets when generating a preset")
+    cmp_p.add_argument("--cores", type=int, default=16)
+    cmp_p.add_argument("--queue-depth", type=int, default=32)
+    cmp_p.add_argument("--utilisation", type=float, default=1.05)
+    cmp_p.add_argument("--duration-ms", type=float, default=10.0)
+    cmp_p.add_argument("--seed", type=int, default=7)
+    cmp_p.add_argument("--multiservice", action="store_true",
+                       help="classify into the 4 edge-router services")
+    cmp_p.add_argument(
+        "--schedulers", nargs="+", default=["hash-static", "afs", "laps"],
+        choices=available_schedulers(),
+    )
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

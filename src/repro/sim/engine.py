@@ -1,0 +1,76 @@
+"""A minimal discrete-event core: a monotone event heap.
+
+Events are ``(time_ns, seq, payload)`` tuples in a binary heap; ``seq``
+is a monotonically increasing tiebreaker so simultaneous events pop in
+insertion order (deterministic) and payloads are never compared.  The
+simulator's hot loop pushes one completion event per packet, so the
+engine is deliberately tuple-based — no Event objects, no allocation
+beyond the tuple itself (per the HPC guidance: keep the inner loop free
+of attribute lookups).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered event heap with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_seq", "_last_pop_ns")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = 0
+        self._last_pop_ns = -1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time_ns: int, payload: Any) -> None:
+        """Schedule *payload* at *time_ns*.
+
+        Scheduling into the past (before the last popped event) is a
+        causality violation and raises :class:`SimulationError`.
+        """
+        if time_ns < self._last_pop_ns:
+            raise SimulationError(
+                f"event scheduled at {time_ns} ns, before current time "
+                f"{self._last_pop_ns} ns"
+            )
+        heapq.heappush(self._heap, (time_ns, self._seq, payload))
+        self._seq += 1
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return ``(time_ns, payload)`` of the next event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time_ns, _, payload = heapq.heappop(self._heap)
+        self._last_pop_ns = time_ns
+        return time_ns, payload
+
+    def pop_until(self, horizon_ns: int) -> Iterator[tuple[int, Any]]:
+        """Yield events with ``time <= horizon_ns`` in order.
+
+        The caller may push new events while iterating (a completion
+        starting the next packet); newly pushed events inside the
+        horizon are yielded too.
+        """
+        while self._heap and self._heap[0][0] <= horizon_ns:
+            yield self.pop()
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._last_pop_ns = -1

@@ -1,0 +1,141 @@
+"""Traffic-rate modelling and arrival generation — paper Sec. IV-C1.
+
+Per-service traffic rate follows the Holt-Winters-style model of eq. (1):
+
+    x_i(t) = a + b*t + C*S(t % m) + n(sigma)
+
+with ``a`` the baseline, ``b`` the linear trend, ``C`` the magnitude of
+the seasonal shape ``S`` (period ``m``), and ``n`` zero-mean Gaussian
+noise.  The paper leaves ``S`` unspecified; we use the canonical
+unit-amplitude sinusoid.  Rates are clamped at a small positive floor —
+eq. (1) can go negative for large sigma, which is unphysical.
+
+Arrivals are an inhomogeneous Poisson process realised piecewise: the
+duration is cut into short segments, the rate is sampled (with noise)
+once per segment, a Poisson count is drawn, and arrival instants fall
+uniformly within the segment.  This is exact for piecewise-constant
+rates and fully vectorised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigError
+from repro.util.rng import make_rng
+
+__all__ = ["HoltWintersParams", "HoltWinters", "arrival_times"]
+
+
+@dataclass(frozen=True)
+class HoltWintersParams:
+    """One service's row of Table IV.
+
+    Units follow the paper: rates (``a``, ``b``-slope, ``C``, ``sigma``)
+    in packets/second; the seasonal period ``m`` in seconds.  ``b`` is
+    the rate *increase per second*.
+    """
+
+    a: float
+    b: float = 0.0
+    c: float = 0.0
+    m: float = 1.0
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a < 0:
+            raise ConfigError(f"baseline rate must be >= 0, got {self.a}")
+        if self.m <= 0:
+            raise ConfigError(f"seasonal period must be positive, got {self.m}")
+        if self.sigma < 0:
+            raise ConfigError(f"noise sigma must be >= 0, got {self.sigma}")
+
+    def scaled(self, factor: float) -> "HoltWintersParams":
+        """All rate-dimension terms scaled by *factor* (period kept)."""
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return HoltWintersParams(
+            self.a * factor, self.b * factor, self.c * factor, self.m, self.sigma * factor
+        )
+
+
+class HoltWinters:
+    """Evaluator for the eq. (1) rate model."""
+
+    #: Clamp floor as a fraction of the baseline ``a`` (rates never go
+    #: fully to zero so inter-arrival generation stays well-defined).
+    FLOOR_FRACTION = 0.01
+
+    def __init__(self, params: HoltWintersParams) -> None:
+        self.params = params
+
+    def mean_rate(self, t_s: float) -> float:
+        """Deterministic part of x(t) at *t_s* seconds (no noise)."""
+        p = self.params
+        seasonal = p.c * math.sin(2.0 * math.pi * (t_s % p.m) / p.m)
+        return max(p.a * self.FLOOR_FRACTION, p.a + p.b * t_s + seasonal)
+
+    def mean_rate_batch(self, t_s: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`mean_rate`."""
+        p = self.params
+        t_s = np.asarray(t_s, dtype=np.float64)
+        seasonal = p.c * np.sin(2.0 * np.pi * np.mod(t_s, p.m) / p.m)
+        return np.maximum(p.a * self.FLOOR_FRACTION, p.a + p.b * t_s + seasonal)
+
+    def sample_rates(
+        self,
+        t_s: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """x(t) with the noise term drawn per evaluation point."""
+        rng = make_rng(rng)
+        base = self.mean_rate_batch(t_s)
+        if self.params.sigma > 0:
+            base = base + rng.normal(0.0, self.params.sigma, size=base.shape)
+        return np.maximum(self.params.a * self.FLOOR_FRACTION, base)
+
+    def average_rate(self, duration_s: float, samples: int = 512) -> float:
+        """Time-average of the deterministic rate over ``[0, duration_s]``
+        (used to calibrate offered load to a target utilisation)."""
+        if duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {duration_s}")
+        t = np.linspace(0.0, duration_s, samples, endpoint=False)
+        return float(self.mean_rate_batch(t).mean())
+
+
+def arrival_times(
+    model: HoltWinters,
+    duration_ns: int,
+    rng: np.random.Generator | int | None = None,
+    segment_ns: int | None = None,
+) -> np.ndarray:
+    """Sorted arrival instants (int64 ns) of an inhomogeneous Poisson
+    process driven by *model* over ``[0, duration_ns)``.
+
+    ``segment_ns`` controls the piecewise-constant discretisation;
+    default is 1/50 of the seasonal period (capped at 10 ms) so the
+    seasonal shape is well resolved.
+    """
+    if duration_ns <= 0:
+        raise ConfigError(f"duration must be positive, got {duration_ns}")
+    rng = make_rng(rng)
+    if segment_ns is None:
+        segment_ns = min(units.ms(10), max(units.us(100), int(model.params.m * units.SEC / 50)))
+    n_segments = (duration_ns + segment_ns - 1) // segment_ns
+    starts_ns = np.arange(n_segments, dtype=np.int64) * segment_ns
+    lengths_ns = np.minimum(segment_ns, duration_ns - starts_ns)
+    rates = model.sample_rates(starts_ns / units.SEC, rng)
+    expected = rates * (lengths_ns / units.SEC)
+    counts = rng.poisson(expected)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_index = np.repeat(np.arange(n_segments), counts)
+    offsets = rng.random(total) * lengths_ns[seg_index]
+    times = starts_ns[seg_index] + offsets.astype(np.int64)
+    times.sort(kind="stable")
+    return times

@@ -1,0 +1,81 @@
+"""The processing-delay model — paper Sec. IV-C3, eq. (3)-(5), Table III.
+
+``PD_i = T_proc,i + FM_penalty + CC_penalty`` where
+
+* ``T_proc,i`` comes from the service's affine size model (measured on
+  GEMS by the authors; we use their published constants via
+  :class:`~repro.net.service.Service`),
+* ``FM_penalty`` (0.8 us = four cache misses: two for routing data, two
+  for per-flow data) applies when the flow just migrated to this core,
+* ``CC_penalty`` (10 us, the IP-forwarding image reload) applies when
+  the core's last packet belonged to a *different service* — the 16 KB
+  I-cache holds exactly one application image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.net.service import ServiceSet
+
+__all__ = ["CoreConfig", "TABLE_III_CORE", "LatencyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreConfig:
+    """The data-plane core of Table III (documentation/timing metadata;
+    behaviourally the simulator only needs the derived penalties)."""
+
+    frequency_ghz: float = 1.0
+    pipeline_stages: int = 7
+    issue_width: int = 2
+    branch_predictor: str = "gshare/BTB, 128 entries each"
+    icache_kb: int = 16
+    icache_ways: int = 2
+    dcache_kb: int = 32
+    dcache_ways: int = 4
+
+
+#: The exact Table III configuration.
+TABLE_III_CORE = CoreConfig()
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Computes per-packet processing delays for a service set."""
+
+    services: ServiceSet
+    fm_penalty_ns: int = units.us(0.8)
+    cc_penalty_ns: int = units.us(10.0)
+    core: CoreConfig = TABLE_III_CORE
+
+    def __post_init__(self) -> None:
+        if self.fm_penalty_ns < 0 or self.cc_penalty_ns < 0:
+            raise ValueError("penalties must be >= 0")
+
+    def processing_ns(
+        self,
+        service_id: int,
+        size_bytes: int,
+        *,
+        migrated: bool,
+        cold_cache: bool,
+    ) -> int:
+        """``PD_i`` of eq. (3) in integer nanoseconds."""
+        pd = self.services[service_id].processing_ns(size_bytes)
+        if migrated:
+            pd += self.fm_penalty_ns
+        if cold_cache:
+            pd += self.cc_penalty_ns
+        return pd
+
+    def t_proc_ns(self, service_id: int, size_bytes: int) -> int:
+        """Bare ``T_proc,i`` without penalties."""
+        return self.services[service_id].processing_ns(size_bytes)
+
+    def capacity_pps(
+        self, cores_per_service: list[int], mean_size_bytes: float = 64.0
+    ) -> float:
+        """Ideal aggregate throughput of an allocation (no penalties)."""
+        return self.services.capacity_pps(cores_per_service, mean_size_bytes)

@@ -1,0 +1,181 @@
+"""Simulation metrics: counters accumulated during a run and the final
+:class:`SimReport` the experiment harness consumes.
+
+Everything Figs. 7 and 9 plot is here: packets dropped, out-of-order
+departures, cold-cache fraction, flow migrations — plus supporting
+signals (latency summary, per-core utilisation, Jain fairness of load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.stats import jain_fairness, summarize
+
+__all__ = ["SimMetrics", "SimReport"]
+
+
+class SimMetrics:
+    """Mutable counters the simulator updates in its hot loop."""
+
+    __slots__ = (
+        "num_services",
+        "num_cores",
+        "generated",
+        "dropped",
+        "departed",
+        "cold_cache_events",
+        "flow_migration_events",
+        "generated_per_service",
+        "dropped_per_service",
+        "busy_ns_per_core",
+        "latencies_ns",
+    )
+
+    def __init__(self, num_services: int, num_cores: int) -> None:
+        self.num_services = num_services
+        self.num_cores = num_cores
+        self.generated = 0
+        self.dropped = 0
+        self.departed = 0
+        self.cold_cache_events = 0
+        self.flow_migration_events = 0
+        self.generated_per_service = [0] * num_services
+        self.dropped_per_service = [0] * num_services
+        self.busy_ns_per_core = [0] * num_cores
+        self.latencies_ns: list[int] = []
+
+    def finalize(
+        self,
+        *,
+        duration_ns: int,
+        out_of_order: int,
+        scheduler_name: str,
+        scheduler_stats: dict[str, float],
+        migrated_flows: int,
+        departures: tuple[tuple[int, int, int], ...] = (),
+        drop_records: tuple[tuple[int, int, int], ...] = (),
+    ) -> "SimReport":
+        """Freeze the counters into an immutable report."""
+        util = [
+            b / duration_ns if duration_ns > 0 else 0.0 for b in self.busy_ns_per_core
+        ]
+        lat = (
+            summarize(self.latencies_ns)
+            if self.latencies_ns
+            else {k: 0.0 for k in ("mean", "min", "max", "p50", "p95", "p99")}
+        )
+        return SimReport(
+            scheduler=scheduler_name,
+            duration_ns=duration_ns,
+            generated=self.generated,
+            dropped=self.dropped,
+            departed=self.departed,
+            out_of_order=out_of_order,
+            cold_cache_events=self.cold_cache_events,
+            flow_migration_events=self.flow_migration_events,
+            migrated_flows=migrated_flows,
+            generated_per_service=tuple(self.generated_per_service),
+            dropped_per_service=tuple(self.dropped_per_service),
+            core_utilization=tuple(util),
+            latency_ns=lat,
+            scheduler_stats=dict(scheduler_stats),
+            departures=departures,
+            drop_records=drop_records,
+        )
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Immutable result of one simulation run."""
+
+    scheduler: str
+    duration_ns: int
+    generated: int
+    dropped: int
+    departed: int
+    out_of_order: int
+    cold_cache_events: int
+    flow_migration_events: int
+    migrated_flows: int
+    generated_per_service: tuple[int, ...]
+    dropped_per_service: tuple[int, ...]
+    core_utilization: tuple[float, ...]
+    latency_ns: dict[str, float] = field(default_factory=dict)
+    scheduler_stats: dict[str, float] = field(default_factory=dict)
+    #: egress sequence (flow_id, seq, depart_ns), only when
+    #: ``SimConfig.record_departures`` was set.
+    departures: tuple[tuple[int, int, int], ...] = ()
+    #: queue-overflow losses (flow_id, seq, drop_ns), same gate.
+    drop_records: tuple[tuple[int, int, int], ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def drop_fraction(self) -> float:
+        """Packets dropped / packets offered (Fig. 7a's metric)."""
+        return self.dropped / self.generated if self.generated else 0.0
+
+    @property
+    def ooo_fraction(self) -> float:
+        """Out-of-order departures / departures (Fig. 7c's metric)."""
+        return self.out_of_order / self.departed if self.departed else 0.0
+
+    @property
+    def cold_cache_fraction(self) -> float:
+        """Packets that paid the cold-cache penalty / departures
+        (Fig. 7b's metric — "almost 60% of packets suffer from cold
+        cache penalties" under FCFS/AFS)."""
+        return self.cold_cache_events / self.departed if self.departed else 0.0
+
+    @property
+    def migration_fraction(self) -> float:
+        """Packets that paid the flow-migration penalty / departures."""
+        return self.flow_migration_events / self.departed if self.departed else 0.0
+
+    @property
+    def throughput_pps(self) -> float:
+        """Departures per second of model time."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.departed / (self.duration_ns / 1e9)
+
+    @property
+    def load_fairness(self) -> float:
+        """Jain fairness index of per-core busy time."""
+        return jain_fairness(self.core_utilization)
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat dict for table rendering."""
+        return {
+            "scheduler": self.scheduler,
+            "generated": self.generated,
+            "dropped": self.dropped,
+            "drop_frac": self.drop_fraction,
+            "departed": self.departed,
+            "ooo": self.out_of_order,
+            "ooo_frac": self.ooo_fraction,
+            "cold_frac": self.cold_cache_fraction,
+            "migrations": self.flow_migration_events,
+            "migrated_flows": self.migrated_flows,
+            "fairness": self.load_fairness,
+            "p99_latency_us": self.latency_ns.get("p99", 0.0) / 1e3,
+        }
+
+    def relative_to(self, baseline: "SimReport") -> dict[str, float]:
+        """Ratios against a baseline run (Fig. 9 plots these).
+
+        NaN where the baseline never triggered the event.
+        """
+        def ratio(a: float, b: float) -> float:
+            return a / b if b else float("nan")
+
+        return {
+            "dropped": ratio(self.dropped, baseline.dropped),
+            "out_of_order": ratio(self.out_of_order, baseline.out_of_order),
+            "flow_migrations": ratio(
+                self.flow_migration_events, baseline.flow_migration_events
+            ),
+            "migrated_flows": ratio(self.migrated_flows, baseline.migrated_flows),
+        }

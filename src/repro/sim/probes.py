@@ -1,0 +1,63 @@
+"""Time-series probes: sample simulator state on a fixed period.
+
+A probe turns a run into the "metric over time" curves papers plot:
+queue occupancies, cumulative drops/departures, per-core backlog.  The
+simulator calls :meth:`QueueProbe.maybe_sample` as simulated time
+advances; samples land in plain numpy-convertible lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["QueueProbe"]
+
+
+class QueueProbe:
+    """Periodic sampler of queue occupancy and progress counters."""
+
+    def __init__(self, period_ns: int) -> None:
+        if period_ns <= 0:
+            raise ConfigError(f"probe period must be positive, got {period_ns}")
+        self.period_ns = period_ns
+        self.times_ns: list[int] = []
+        self.occupancies: list[list[int]] = []
+        self.dropped: list[int] = []
+        self.departed: list[int] = []
+        self._next_ns = 0
+
+    def maybe_sample(self, t_ns: int, queues, metrics) -> None:
+        """Record one row per elapsed period boundary up to *t_ns*."""
+        while self._next_ns <= t_ns:
+            self.times_ns.append(self._next_ns)
+            self.occupancies.append(queues.occupancies())
+            self.dropped.append(metrics.dropped)
+            self.departed.append(metrics.departed)
+            self._next_ns += self.period_ns
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return len(self.times_ns)
+
+    def occupancy_matrix(self) -> np.ndarray:
+        """(samples, cores) int array of queue depths."""
+        if not self.occupancies:
+            return np.empty((0, 0), dtype=np.int64)
+        return np.asarray(self.occupancies, dtype=np.int64)
+
+    def drop_rate_series(self) -> np.ndarray:
+        """Drops per period (discrete derivative of the cumulative)."""
+        d = np.asarray(self.dropped, dtype=np.int64)
+        if d.size == 0:
+            return d
+        return np.diff(d, prepend=0)
+
+    def imbalance_series(self) -> np.ndarray:
+        """Per-sample max-min queue spread (the balancer's target)."""
+        occ = self.occupancy_matrix()
+        if occ.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return occ.max(axis=1) - occ.min(axis=1)

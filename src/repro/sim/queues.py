@@ -1,0 +1,95 @@
+"""Bounded per-core input queues.
+
+Each core owns a FIFO of packet descriptors bounded at
+``queue_capacity`` (32 in the paper, after Ohlendorf et al.); "a packet
+is lost when it is assigned to a queue which is already full"
+(Sec. IV-C2).  :class:`QueueBank` also implements the scheduler-facing
+:class:`~repro.schedulers.base.LoadView` protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+
+__all__ = ["BoundedQueue", "QueueBank"]
+
+
+class BoundedQueue:
+    """A FIFO of packet indices with a hard capacity."""
+
+    __slots__ = ("capacity", "_items", "drops", "peak")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[int] = deque()
+        self.drops = 0
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def offer(self, item: int) -> bool:
+        """Enqueue *item*; False (and a drop) when full."""
+        if len(self._items) >= self.capacity:
+            self.drops += 1
+            return False
+        self._items.append(item)
+        if len(self._items) > self.peak:
+            self.peak = len(self._items)
+        return True
+
+    def take(self) -> int:
+        """Dequeue the oldest item (raises IndexError when empty)."""
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class QueueBank:
+    """All cores' input queues; satisfies the ``LoadView`` protocol."""
+
+    __slots__ = ("_queues", "_capacity")
+
+    def __init__(self, num_cores: int, queue_capacity: int) -> None:
+        if num_cores <= 0:
+            raise ConfigError(f"need at least one core, got {num_cores}")
+        self._queues = [BoundedQueue(queue_capacity) for _ in range(num_cores)]
+        self._capacity = queue_capacity
+
+    # LoadView protocol -------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return len(self._queues)
+
+    @property
+    def queue_capacity(self) -> int:
+        return self._capacity
+
+    def occupancy(self, core_id: int) -> int:
+        return len(self._queues[core_id])
+
+    # direct access ------------------------------------------------------
+    def __getitem__(self, core_id: int) -> BoundedQueue:
+        return self._queues[core_id]
+
+    def __iter__(self):
+        return iter(self._queues)
+
+    def total_drops(self) -> int:
+        return sum(q.drops for q in self._queues)
+
+    def occupancies(self) -> list[int]:
+        return [len(q) for q in self._queues]

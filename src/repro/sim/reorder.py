@@ -1,0 +1,81 @@
+"""Egress packet-order accounting.
+
+A departing packet is **out of order** iff some packet of the same flow
+with a smaller per-flow sequence number is still in the system at its
+departure — i.e. departure order inverts arrival order within the flow
+(the receiver would observe a gap).  Packets lost to full queues leave
+the system too: a drop *advances* the expected sequence (the receiver
+never sees the dropped packet, so later packets are not "out of order"
+relative to it), but the drop itself is never counted as a reorder.
+
+Implementation: per flow, the smallest not-yet-accounted sequence
+number plus the set of early (out-of-order) accounted sequences above
+it; both updates are amortised O(1) per packet.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReorderDetector"]
+
+
+class ReorderDetector:
+    """Streaming per-flow reorder counter."""
+
+    __slots__ = ("_next_expected", "_pending", "out_of_order", "departed", "accounted")
+
+    def __init__(self) -> None:
+        self._next_expected: dict[int, int] = {}
+        self._pending: dict[int, set[int]] = {}
+        self.out_of_order = 0
+        self.departed = 0
+        self.accounted = 0
+
+    def _account(self, flow_id: int, seq: int) -> bool:
+        """Mark *seq* of *flow_id* as having left the system.
+
+        Returns True when the packet left ahead of an earlier one
+        (out of order).
+        """
+        self.accounted += 1
+        expected = self._next_expected.get(flow_id, 0)
+        if seq == expected:
+            expected += 1
+            pending = self._pending.get(flow_id)
+            if pending:
+                while expected in pending:
+                    pending.remove(expected)
+                    expected += 1
+                if not pending:
+                    del self._pending[flow_id]
+            self._next_expected[flow_id] = expected
+            return False
+        if seq < expected or seq in self._pending.get(flow_id, ()):
+            raise ValueError(
+                f"flow {flow_id} seq {seq} accounted twice (expected >= {expected})"
+            )
+        self._pending.setdefault(flow_id, set()).add(seq)
+        return True
+
+    def on_depart(self, flow_id: int, seq: int) -> bool:
+        """Account a departure; returns and counts out-of-order-ness."""
+        ooo = self._account(flow_id, seq)
+        self.departed += 1
+        if ooo:
+            self.out_of_order += 1
+        return ooo
+
+    def on_drop(self, flow_id: int, seq: int) -> None:
+        """Account a drop (advances sequencing, never counts as OOO)."""
+        self._account(flow_id, seq)
+
+    @property
+    def in_flight_gaps(self) -> int:
+        """Number of sequences accounted early whose predecessors are
+        still in the system (diagnostic)."""
+        return sum(len(s) for s in self._pending.values())
+
+    def ooo_fraction(self) -> float:
+        """Out-of-order departures / total departures (0 when none)."""
+        if self.departed == 0:
+            return 0.0
+        return self.out_of_order / self.departed

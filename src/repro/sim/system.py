@@ -1,0 +1,205 @@
+"""The network-processor simulator (Fig. 6 wired together).
+
+Event structure: arrivals come pre-sorted in the
+:class:`~repro.sim.workload.Workload` arrays; the only heap-managed
+events are core completions.  Per arriving packet:
+
+1. drain all completions up to the arrival instant (cores pull their
+   next queued packet; queues that empty fire the scheduler's idle
+   notification);
+2. ask the scheduler for a target core;
+3. enqueue there — or drop if the 32-descriptor queue is full;
+4. an idle core starts the packet immediately; the processing delay is
+   ``T_proc + FM/CC penalties`` (eq. 3) where the FM (flow-migration)
+   penalty applies when the flow's previous packet ran on a different
+   core and the CC (cold-cache) penalty when the core's previous packet
+   belonged to a different service.
+
+After the last arrival the simulator drains for ``config.drain_ns`` so
+queued packets depart and get scored for reordering.
+
+The hot loop indexes plain numpy-backed lists and dicts; per-packet
+Python objects are never created.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.schedulers.base import Scheduler
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import SimMetrics, SimReport
+from repro.sim.queues import QueueBank
+from repro.sim.reorder import ReorderDetector
+from repro.sim.workload import Workload
+
+__all__ = ["NetworkProcessorSim", "simulate"]
+
+
+class NetworkProcessorSim:
+    """One simulation run binding a scheduler to a workload."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        scheduler: Scheduler,
+        workload: Workload,
+        probe=None,
+    ) -> None:
+        if workload.num_services > len(config.services):
+            raise ConfigError(
+                f"workload uses {workload.num_services} services but the "
+                f"config defines only {len(config.services)}"
+            )
+        self.config = config
+        self.scheduler = scheduler
+        self.workload = workload
+        self.queues = QueueBank(config.num_cores, config.queue_capacity)
+        self.reorder = ReorderDetector()
+        self.metrics = SimMetrics(len(config.services), config.num_cores)
+        #: optional :class:`repro.sim.probes.QueueProbe`-like sampler
+        self.probe = probe
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimReport:
+        """Execute the full run and return the report."""
+        if self._ran:
+            raise SimulationError("a NetworkProcessorSim instance runs once")
+        self._ran = True
+
+        cfg = self.config
+        wl = self.workload
+        sched = self.scheduler
+        sched.bind(self.queues)
+
+        lat_model = cfg.latency_model()
+        services = cfg.services
+        fm_pen = cfg.fm_penalty_ns
+        cc_pen = cfg.cc_penalty_ns
+        # precompute T_proc constants per service for the hot loop
+        base_ns = [services[s].base_ns for s in range(len(services))]
+        per64_ns = [services[s].per_64b_ns for s in range(len(services))]
+
+        queues = self.queues
+        reorder = self.reorder
+        metrics = self.metrics
+        events = EventQueue()
+
+        n_cores = cfg.num_cores
+        core_busy = [False] * n_cores  # serving a packet right now
+        core_last_service = [-1] * n_cores  # i-cache content
+        flow_last_core = np.full(wl.num_flows, -1, dtype=np.int32)
+        flow_migrated = np.zeros(wl.num_flows, dtype=bool)
+
+        arrival = wl.arrival_ns
+        service = wl.service_id
+        flow = wl.flow_id
+        size = wl.size_bytes
+        fhash = wl.flow_hash
+        seq = wl.seq
+        n = wl.num_packets
+        collect_lat = cfg.collect_latencies
+        latencies = metrics.latencies_ns
+        record_dep = cfg.record_departures
+        departures: list[tuple[int, int, int]] = []
+        drop_records: list[tuple[int, int, int]] = []
+
+        def start_packet(core: int, pkt: int, t_ns: int) -> None:
+            """Begin service of packet *pkt* on *core* at *t_ns*."""
+            sid = int(service[pkt])
+            fid = int(flow[pkt])
+            t_proc = base_ns[sid]
+            p64 = per64_ns[sid]
+            if p64:
+                t_proc += round(p64 * int(size[pkt]) / 64)
+            last = flow_last_core[fid]
+            migrated = last >= 0 and last != core
+            if migrated:
+                t_proc += fm_pen
+                metrics.flow_migration_events += 1
+                flow_migrated[fid] = True
+            flow_last_core[fid] = core
+            if core_last_service[core] != sid:
+                if core_last_service[core] >= 0:
+                    t_proc += cc_pen
+                    metrics.cold_cache_events += 1
+                core_last_service[core] = sid
+            core_busy[core] = True
+            metrics.busy_ns_per_core[core] += t_proc
+            events.push(t_ns + t_proc, (core, pkt))
+
+        def complete_until(horizon_ns: int) -> None:
+            """Drain completion events with time <= horizon."""
+            for t_done, (core, pkt) in events.pop_until(horizon_ns):
+                metrics.departed += 1
+                reorder.on_depart(int(flow[pkt]), int(seq[pkt]))
+                if collect_lat:
+                    latencies.append(t_done - int(arrival[pkt]))
+                if record_dep:
+                    departures.append((int(flow[pkt]), int(seq[pkt]), t_done))
+                q = queues[core]
+                if q.is_empty:
+                    core_busy[core] = False
+                    sched.on_queue_empty(core, t_done)
+                else:
+                    start_packet(core, q.take(), t_done)
+
+        probe = self.probe
+        for i in range(n):
+            t = int(arrival[i])
+            complete_until(t)
+            if probe is not None:
+                probe.maybe_sample(t, queues, metrics)
+            metrics.generated += 1
+            sid = int(service[i])
+            metrics.generated_per_service[sid] += 1
+            core = sched.select_core(int(flow[i]), sid, int(fhash[i]), t)
+            if not 0 <= core < n_cores:
+                raise SimulationError(
+                    f"{sched.name} returned core {core} of {n_cores}"
+                )
+            if core_busy[core]:
+                q = queues[core]
+                if q.is_empty:
+                    sched.on_queue_busy(core, t)
+                if not q.offer(i):
+                    metrics.dropped += 1
+                    metrics.dropped_per_service[sid] += 1
+                    reorder.on_drop(int(flow[i]), int(seq[i]))
+                    if record_dep:
+                        drop_records.append((int(flow[i]), int(seq[i]), t))
+            else:
+                sched.on_queue_busy(core, t)
+                start_packet(core, i, t)
+
+        # drain phase: let queued work depart (bounded)
+        last_t = int(arrival[-1]) if n else 0
+        complete_until(last_t + cfg.drain_ns)
+        # anything still in flight past the drain bound is abandoned
+        # unscored (counted as neither departed nor dropped)
+
+        duration = wl.duration_ns
+        return metrics.finalize(
+            duration_ns=duration,
+            out_of_order=reorder.out_of_order,
+            scheduler_name=sched.name,
+            scheduler_stats=sched.stats(),
+            migrated_flows=int(flow_migrated.sum()),
+            departures=tuple(departures),
+            drop_records=tuple(drop_records),
+        )
+
+
+def simulate(
+    workload: Workload,
+    scheduler: Scheduler,
+    config: SimConfig | None = None,
+    probe=None,
+) -> SimReport:
+    """Convenience one-shot: run *scheduler* on *workload*."""
+    return NetworkProcessorSim(
+        config or SimConfig(), scheduler, workload, probe=probe
+    ).run()

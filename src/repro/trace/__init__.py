@@ -1,0 +1,61 @@
+"""Trace substrate: synthetic heavy-tailed trace generation, a compact
+array-of-struct trace container with npz/csv persistence, a classic-pcap
+reader/writer, and offline flow analysis (rank-size curves, exact top-k
+ground truth for AFD accuracy).
+
+The paper evaluates on CAIDA (equinix-sanjose, OC-192) and Auckland-II
+traces; those datasets are not redistributable, so this package ships
+calibrated synthetic presets (:func:`repro.trace.synthetic.preset_trace`)
+that reproduce the two datasets' qualitative signatures — CAIDA-like:
+very many concurrently active flows with a long heavy tail; Auckland-like:
+fewer actives with sharper elephant dominance — plus a pcap ingest path
+so real captures can be dropped in unchanged.
+"""
+
+from repro.trace.trace import Trace
+from repro.trace.models import (
+    FlowPopulation,
+    PacketSizeModel,
+    TRIMODAL_INTERNET_SIZES,
+    zipf_weights,
+)
+from repro.trace.synthetic import (
+    PRESETS,
+    SyntheticTraceConfig,
+    generate_trace,
+    preset_trace,
+)
+from repro.trace.analysis import (
+    concentration,
+    flow_sizes,
+    rank_size,
+    top_k_flows,
+    windowed_top_k,
+)
+from repro.trace.pcap import (
+    read_pcap,
+    trace_from_pcap,
+    write_pcap,
+)
+from repro.trace.replay import native_workload
+
+__all__ = [
+    "Trace",
+    "FlowPopulation",
+    "PacketSizeModel",
+    "TRIMODAL_INTERNET_SIZES",
+    "zipf_weights",
+    "PRESETS",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "preset_trace",
+    "concentration",
+    "flow_sizes",
+    "rank_size",
+    "top_k_flows",
+    "windowed_top_k",
+    "read_pcap",
+    "trace_from_pcap",
+    "write_pcap",
+    "native_workload",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.trace`` — see :mod:`repro.trace.cli`."""
+
+from repro.trace.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Time and rate units used throughout the simulator.
+
+The discrete-event simulator works in **integer nanoseconds**.  Integer
+time is exact (no float drift when accumulating millions of events),
+hashable, and cheap to compare inside the event heap.  All public APIs
+that accept durations take either an integer nanosecond count or one of
+the helpers below.
+
+Rates are expressed in packets per second (pps).  The paper quotes rates
+in Mpps (million packets per second); :func:`mpps` converts.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "ns",
+    "us",
+    "ms",
+    "seconds",
+    "to_seconds",
+    "to_us",
+    "mpps",
+    "kpps",
+    "pps_to_interarrival_ns",
+    "interarrival_ns_to_pps",
+]
+
+#: One nanosecond (the base tick).
+NS: int = 1
+#: Nanoseconds per microsecond.
+US: int = 1_000
+#: Nanoseconds per millisecond.
+MS: int = 1_000_000
+#: Nanoseconds per second.
+SEC: int = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Return *value* nanoseconds as an integer tick count."""
+    return round(value)
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds as an integer nanosecond count."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds as an integer nanosecond count."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds as an integer nanosecond count."""
+    return round(value * SEC)
+
+
+def to_seconds(t_ns: int) -> float:
+    """Convert an integer nanosecond count to float seconds."""
+    return t_ns / SEC
+
+
+def to_us(t_ns: int) -> float:
+    """Convert an integer nanosecond count to float microseconds."""
+    return t_ns / US
+
+
+def mpps(value: float) -> float:
+    """Convert a rate in million packets/second to packets/second."""
+    return value * 1e6
+
+
+def kpps(value: float) -> float:
+    """Convert a rate in thousand packets/second to packets/second."""
+    return value * 1e3
+
+
+def pps_to_interarrival_ns(rate_pps: float) -> float:
+    """Mean inter-arrival time in nanoseconds for a rate in packets/s.
+
+    Raises :class:`ValueError` for non-positive rates: a zero rate has no
+    finite inter-arrival time and callers must special-case it.
+    """
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_pps}")
+    return SEC / rate_pps
+
+
+def interarrival_ns_to_pps(gap_ns: float) -> float:
+    """Rate in packets/s for a mean inter-arrival gap in nanoseconds."""
+    if gap_ns <= 0:
+        raise ValueError(f"inter-arrival gap must be positive, got {gap_ns}")
+    return SEC / gap_ns

@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG plumbing, statistics, tables."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.stats import (
+    gini,
+    jain_fairness,
+    normalize,
+    percentile,
+    ratio_or_nan,
+    summarize,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "gini",
+    "jain_fairness",
+    "normalize",
+    "percentile",
+    "ratio_or_nan",
+    "summarize",
+    "format_table",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this formatter keeps that output aligned and readable
+without pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt_cell(value: object, float_fmt: str) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "--"
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Floats are formatted with *float_fmt*; ``None`` and NaN render as
+    ``--``.  Every row must have exactly ``len(headers)`` cells.
+    """
+    ncols = len(headers)
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for i, row in enumerate(rows):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+        rendered.append([_fmt_cell(c, float_fmt) for c in row])
+
+    widths = [max(len(r[c]) for r in rendered) for c in range(ncols)]
+    sep = "-+-".join("-" * w for w in widths)
+
+    def fmt_row(cells: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(rendered[0]))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in rendered[1:])
+    return "\n".join(lines)

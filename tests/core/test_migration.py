@@ -1,0 +1,127 @@
+"""Tests for the migration table."""
+
+import pytest
+
+from repro.core.migration import MigrationTable
+
+
+class TestBasics:
+    def test_lookup_missing(self):
+        assert MigrationTable().lookup(5) is None
+
+    def test_add_and_lookup(self):
+        t = MigrationTable()
+        t.add(5, 2)
+        assert t.lookup(5) == 2
+        assert 5 in t and len(t) == 1
+
+    def test_retarget_in_place(self):
+        t = MigrationTable()
+        t.add(5, 2)
+        assert t.add(5, 3) is None
+        assert t.lookup(5) == 3
+        assert len(t) == 1
+
+    def test_remove(self):
+        t = MigrationTable()
+        t.add(5, 2)
+        assert t.remove(5)
+        assert not t.remove(5)
+        assert t.lookup(5) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MigrationTable(0)
+
+
+class TestEviction:
+    def test_fifo_eviction(self):
+        t = MigrationTable(capacity=2)
+        t.add(1, 0)
+        t.add(2, 0)
+        victim = t.add(3, 0)
+        assert victim == 1
+        assert t.lookup(1) is None
+        assert t.evictions == 1
+
+    def test_retarget_does_not_evict(self):
+        t = MigrationTable(capacity=2)
+        t.add(1, 0)
+        t.add(2, 0)
+        assert t.add(1, 1) is None
+        assert len(t) == 2
+
+    def test_items_oldest_first(self):
+        t = MigrationTable()
+        t.add(1, 0)
+        t.add(2, 1)
+        assert t.items() == [(1, 0), (2, 1)]
+
+
+class TestPerCoreCounts:
+    def test_pins_on(self):
+        t = MigrationTable()
+        t.add(1, 0)
+        t.add(2, 0)
+        t.add(3, 1)
+        assert t.pins_on(0) == 2
+        assert t.pins_on(1) == 1
+        assert t.pins_on(9) == 0
+
+    def test_counts_follow_retarget(self):
+        t = MigrationTable()
+        t.add(1, 0)
+        t.add(1, 1)
+        assert t.pins_on(0) == 0 and t.pins_on(1) == 1
+
+    def test_counts_follow_remove(self):
+        t = MigrationTable()
+        t.add(1, 0)
+        t.remove(1)
+        assert t.pins_on(0) == 0
+
+    def test_counts_follow_eviction(self):
+        t = MigrationTable(capacity=1)
+        t.add(1, 0)
+        t.add(2, 1)
+        assert t.pins_on(0) == 0 and t.pins_on(1) == 1
+
+    def test_counts_consistent_invariant(self):
+        t = MigrationTable(capacity=8)
+        import random
+
+        r = random.Random(0)
+        for _ in range(500):
+            op = r.random()
+            flow = r.randrange(20)
+            if op < 0.6:
+                t.add(flow, r.randrange(4))
+            elif op < 0.8:
+                t.remove(flow)
+            else:
+                t.drop_core(r.randrange(4))
+            # invariant: per-core counts match entries
+            for core in range(4):
+                expected = sum(1 for _, c in t.items() if c == core)
+                assert t.pins_on(core) == expected
+
+
+class TestDropCore:
+    def test_drop_core_removes_all(self):
+        t = MigrationTable()
+        t.add(1, 0)
+        t.add(2, 0)
+        t.add(3, 1)
+        dropped = t.drop_core(0)
+        assert set(dropped) == {1, 2}
+        assert len(t) == 1
+        assert t.lookup(3) == 1
+
+    def test_drop_core_empty(self):
+        assert MigrationTable().drop_core(3) == []
+
+    def test_clear(self):
+        t = MigrationTable()
+        t.add(1, 0)
+        t.clear()
+        assert len(t) == 0 and t.pins_on(0) == 0

@@ -1,0 +1,129 @@
+"""Cross-cutting property tests on the LAPS building blocks.
+
+These drive random operation sequences through the stateful components
+and assert the structural invariants the scheduler's correctness rests
+on: ownership always partitions the cores, every service keeps a core,
+map tables always resolve to owned cores, and the migration table's
+per-core counters never drift.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import CoreAllocator
+from repro.core.map_table import ServiceMapTable
+from repro.errors import SchedulerError
+
+
+class TestAllocatorRandomWalk:
+    @given(
+        num_cores=st.integers(4, 12),
+        num_services=st.integers(2, 4),
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["load", "request", "touch"]),
+                st.integers(0, 11),   # core (mod num_cores)
+                st.integers(0, 3),    # service (mod num_services)
+                st.integers(0, 10),   # occupancy
+            ),
+            max_size=120,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_invariants_hold(self, num_cores, num_services, steps):
+        if num_cores < num_services:
+            num_cores = num_services
+        alloc = CoreAllocator(num_cores, num_services, idle_threshold_ns=50)
+        t = 0
+        for op, core, service, occ in steps:
+            t += 17
+            core %= num_cores
+            service %= num_services
+            if op == "load":
+                alloc.note_load(core, occ, t)
+            elif op == "touch":
+                alloc.touch(core, t)
+            else:
+                transfer = alloc.request_core(service, t)
+                if transfer is not None:
+                    assert alloc.owner_of(transfer.core_id) == service
+            # invariant 1: ownership partitions the cores
+            owned = [c for s in range(num_services) for c in alloc.cores_of(s)]
+            assert sorted(owned) == list(range(num_cores))
+            # invariant 2: every service keeps at least one core
+            for s in range(num_services):
+                assert alloc.cores_of(s), f"service {s} stripped bare"
+            # invariant 3: surplus cores are a subset of all cores
+            assert set(alloc.surplus_cores(t)) <= set(range(num_cores))
+
+
+class TestMapTableRandomWalk:
+    @given(
+        initial=st.integers(1, 6),
+        ops=st.lists(st.booleans(), max_size=40),  # True=add, False=remove
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_lookup_always_owned(self, initial, ops):
+        table = ServiceMapTable(0, list(range(initial)))
+        next_core = initial
+        for add in ops:
+            if add:
+                table.add_core(next_core)
+                next_core += 1
+            else:
+                try:
+                    table.remove_core(table.cores[-1])
+                except SchedulerError:
+                    continue
+            # every key resolves to a core the service owns
+            cores = set(table.cores)
+            for k in range(0, 997, 13):
+                assert table.lookup(k) in cores
+            # bucket list has no duplicates
+            assert len(cores) == len(table.cores)
+
+    @given(st.integers(1, 8), st.integers(0, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_distribution_covers_all_cores(self, initial, grows):
+        """With enough keys, every bucket receives some."""
+        table = ServiceMapTable(0, list(range(initial)))
+        for i in range(grows):
+            table.add_core(initial + i)
+        hits = {table.lookup(k) for k in range(4096)}
+        assert hits == set(table.cores)
+
+
+class TestLAPSSchedulerWalk:
+    def test_long_random_run_invariants(self):
+        """Drive LAPS with random packets and adversarial queue states;
+        the chosen core must always belong to the packet's service."""
+        import random
+
+        from repro.core.afd import AFDConfig
+        from repro.core.laps import LAPSConfig, LAPSScheduler
+        from tests.core.test_laps import FakeLoads
+
+        rng = random.Random(0)
+        sched = LAPSScheduler(
+            LAPSConfig(num_services=3, high_threshold=6,
+                       idle_threshold_ns=100,
+                       afd=AFDConfig(promote_threshold=3, annex_entries=32)),
+            rng=0,
+        )
+        loads = FakeLoads(9, queue_capacity=8)
+        sched.bind(loads)
+        for t in range(0, 40_000, 7):
+            # scramble the queue picture
+            for c in range(9):
+                loads.occ[c] = rng.randrange(0, 8)
+            flow = rng.randrange(0, 200)
+            service = flow % 3
+            core = sched.select_core(flow, service, flow * 31, t)
+            assert core in sched.cores_of(service), (
+                f"flow {flow} of service {service} sent to foreign core {core}"
+            )
+            # ownership partition intact
+            owned = sorted(
+                c for s in range(3) for c in sched.cores_of(s)
+            )
+            assert owned == list(range(9))

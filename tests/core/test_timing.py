@@ -1,0 +1,72 @@
+"""Tests for the Sec. III-G timing model."""
+
+import pytest
+
+from repro.core.timing import LAPSTimingModel, SRAMModel, estimate_max_rate_mpps
+
+
+class TestSRAMModel:
+    def test_monotone_in_words(self):
+        sram = SRAMModel()
+        assert sram.access_ns(64, 8) < sram.access_ns(4096, 8)
+
+    def test_monotone_in_width(self):
+        sram = SRAMModel()
+        assert sram.access_ns(256, 8) < sram.access_ns(256, 128)
+
+    def test_small_tables_subnanosecond(self):
+        """The paper's Cacti observation: map table access is a
+        fraction of a nanosecond."""
+        assert SRAMModel().access_ns(256, 8) < 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            SRAMModel().access_ns(0, 8)
+        with pytest.raises(ValueError):
+            SRAMModel().access_ns(8, 0)
+
+    def test_single_word(self):
+        assert SRAMModel().access_ns(1, 8) > 0
+
+
+class TestLAPSTimingModel:
+    def test_paper_claim_200mpps(self):
+        """FPGA CRC16 at 200 MHz (5 ns) -> at least 200 Mpps."""
+        model = LAPSTimingModel()  # defaults: hash 5 ns
+        assert model.max_rate_mpps >= 200.0
+
+    def test_hash_dominates(self):
+        model = LAPSTimingModel()
+        assert model.bottleneck_ns == model.hash_ns
+
+    def test_latency_is_sum(self):
+        model = LAPSTimingModel()
+        assert model.critical_path_ns == pytest.approx(
+            model.hash_ns + model.map_table_ns + model.mux_ns
+        )
+
+    def test_asic_scales_beyond(self):
+        """Faster hash implementations push past 100 Gbps (Sec. III-G)."""
+        fast = LAPSTimingModel(hash_ns=1.0)
+        assert fast.max_rate_mpps > LAPSTimingModel().max_rate_mpps
+
+    def test_breakdown_keys(self):
+        b = LAPSTimingModel().breakdown()
+        assert set(b) == {
+            "hash_ns", "map_table_ns", "mux_ns",
+            "critical_path_ns", "bottleneck_ns", "max_rate_mpps",
+        }
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            LAPSTimingModel(hash_ns=0)
+        with pytest.raises(ValueError):
+            LAPSTimingModel(map_table_entries=0)
+
+
+class TestEstimate:
+    def test_convenience_wrapper(self):
+        assert estimate_max_rate_mpps() >= 200.0
+
+    def test_scales_with_hash(self):
+        assert estimate_max_rate_mpps(hash_ns=2.5) == pytest.approx(400.0)

@@ -1,0 +1,62 @@
+"""Smoke + shape tests for the ablation library functions (tiny sizes).
+
+The timed, full-size versions live in benchmarks/bench_ablations.py;
+these verify the library surface works and the headline direction of
+each sweep holds at small scale.
+"""
+
+from repro.experiments import ablations
+
+
+class TestPromoteThreshold:
+    def test_rows_and_direction(self):
+        res = ablations.run_promote_threshold(quick=True, thresholds=(8, 128))
+        assert [r["threshold"] for r in res.rows] == [8, 128]
+        assert res.rows[0]["promotions"] > res.rows[1]["promotions"]
+
+
+class TestQueueDepth:
+    def test_deeper_queues_drop_less(self):
+        res = ablations.run_queue_depth(quick=True, depths=(16, 128))
+        assert res.rows[1]["dropped"] < res.rows[0]["dropped"]
+
+
+class TestMigrationTable:
+    def test_big_table_stops_evicting(self):
+        res = ablations.run_migration_table(quick=True, capacities=(8, 1024))
+        assert res.rows[1]["evictions"] <= res.rows[0]["evictions"]
+
+
+class TestPinWeight:
+    def test_sweep_runs(self):
+        res = ablations.run_pin_weight(quick=True, weights=(0, 16))
+        assert len(res.rows) == 2
+
+
+class TestRestoration:
+    def test_residual_monotone_in_buffer(self):
+        res = ablations.run_restoration(quick=True, buffers=(8, 64, None))
+        residuals = res.column("residual_ooo")
+        assert residuals == sorted(residuals, reverse=True)
+        assert residuals[-1] == 0
+
+
+class TestPowerGating:
+    def test_savings_monotone(self):
+        res = ablations.run_power_gating(quick=True,
+                                         gating_fractions=(0.0, 0.9))
+        assert res.rows[1]["savings"] > res.rows[0]["savings"]
+
+
+class TestBundle:
+    def test_run_exposes_all_sweeps(self):
+        # the bundle is exercised at full size by the benchmarks; here
+        # just pin its composition
+        assert [f.__name__ for f in (
+            ablations.run_promote_threshold,
+            ablations.run_queue_depth,
+            ablations.run_migration_table,
+            ablations.run_pin_weight,
+            ablations.run_restoration,
+            ablations.run_power_gating,
+        )] == [n for n in ablations.__all__ if n != "run"]

@@ -1,0 +1,30 @@
+"""Tests for the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCLI:
+    def test_timing_runs(self, capsys):
+        assert main(["timing"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "flow size vs rank" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["timing", "--json", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.json"))
+        assert files
+        payload = json.loads(files[0].read_text())
+        assert "rows" in payload
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

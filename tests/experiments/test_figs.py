@@ -1,0 +1,148 @@
+"""Smoke + shape tests for the figure harnesses (quick mode).
+
+These are the integration tests of the reproduction itself: each
+harness must run end-to-end and exhibit the paper's qualitative shape.
+They use tiny sizes; the full-size runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import fig2, fig7, fig8, fig9, timing
+
+
+class TestFig2:
+    def test_rank_size_rows(self):
+        res = fig2.run_rank_size(traces=("caida-1",), quick=True, points=6)
+        assert res.rows
+        ranks = res.column("rank")
+        sizes = res.column("size_bytes")
+        assert ranks == sorted(ranks)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_heavy_tail_signature(self):
+        res = fig2.run_concentration(traces=("caida-1", "auck-1"), quick=True)
+        for row in res.rows:
+            assert row["top16_share"] > 0.25
+            assert row["gini"] > 0.5
+
+    def test_run_bundles_both(self):
+        results = fig2.run(quick=True)
+        assert len(results) == 2
+
+
+class TestFig8:
+    def test_annex_sweep_shape(self):
+        res = fig8.run_annex_sweep(
+            traces=("caida-1", "auck-1"), quick=True,
+            annex_sizes=(64, 512),
+        )
+        by_trace = {}
+        for row in res.rows:
+            by_trace.setdefault(row["trace"], {})[row["annex_entries"]] = row["fpr"]
+        # FPR never increases with annex size
+        for fprs in by_trace.values():
+            assert fprs[512] <= fprs[64] + 1e-9
+        # auckland-like traces are clean at 512 (paper: 100% accuracy)
+        assert by_trace["auck-1"][512] == 0.0
+
+    def test_false_positives_fall_in_top20(self):
+        res = fig8.run_annex_sweep(traces=("caida-1",), quick=True,
+                                   annex_sizes=(512,))
+        for row in res.rows:
+            assert row["fpr_vs_top20"] <= row["fpr"]
+
+    def test_window_accuracy_high(self):
+        res = fig8.run_window_accuracy(
+            traces=("auck-1",), quick=True, intervals=(1000, 5000)
+        )
+        assert res.rows
+        for row in res.rows:
+            assert row["mean_accuracy"] >= 0.85  # paper: above 90%
+
+    def test_sampling_moderate_probs_ok(self):
+        res = fig8.run_sampling(
+            traces=("auck-1",), quick=True, probs=(1.0, 0.1)
+        )
+        by_prob = {row["sample_prob"]: row["fpr"] for row in res.rows}
+        assert by_prob[0.1] <= by_prob[1.0] + 0.15
+
+    def test_two_level_beats_single(self):
+        res = fig8.run_single_vs_two_level(traces=("auck-1", "auck-2"), quick=True)
+        fpr = {}
+        for row in res.rows:
+            fpr.setdefault(row["detector"], []).append(row["fpr"])
+        assert sum(fpr["afd-two-level"]) <= sum(fpr["single-lfu"])
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(quick=True, traces=("caida-1",), k_sweep=(1, 16), seed=7)
+
+    def test_policies_present(self, result):
+        policies = {row["policy"] for row in result.rows}
+        assert {"afs", "none", "top-1", "top-16", "laps-afd"} <= policies
+
+    def test_no_migration_never_reorders(self, result):
+        row = next(r for r in result.rows if r["policy"] == "none")
+        assert row["ooo"] == 0 and row["flow_migrations"] == 0
+
+    def test_topk_cuts_ooo_and_migrations(self, result):
+        """Fig. 9(b)/(c): large reductions relative to AFS."""
+        row = next(r for r in result.rows if r["policy"] == "top-16")
+        assert row["ooo_rel_afs"] < 0.6
+        assert row["migrations_rel_afs"] < 0.5
+
+    def test_topk16_throughput_not_worse_than_none(self, result):
+        none = next(r for r in result.rows if r["policy"] == "none")
+        top = next(r for r in result.rows if r["policy"] == "top-16")
+        assert top["dropped"] <= none["dropped"]
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(quick=True, scenarios=("T1", "T5"), seed=0)
+
+    def test_all_rows_present(self, result):
+        assert len(result.rows) == 6  # 2 scenarios x 3 schedulers
+
+    def test_laps_wins_on_drops(self, result):
+        for scenario in ("T1", "T5"):
+            rows = {r["scheduler"]: r for r in result.rows if r["scenario"] == scenario}
+            assert rows["laps"]["dropped"] < rows["fcfs"]["dropped"]
+            assert rows["laps"]["dropped"] < rows["afs"]["dropped"]
+
+    def test_laps_avoids_cold_caches(self, result):
+        for row in result.rows:
+            if row["scheduler"] == "laps":
+                assert row["cold_cache_frac"] < 0.05
+            if row["scheduler"] == "fcfs":
+                assert row["cold_cache_frac"] > 0.2
+
+    def test_fcfs_reorders_most(self, result):
+        for scenario in ("T1", "T5"):
+            rows = {r["scheduler"]: r for r in result.rows if r["scenario"] == scenario}
+            assert rows["fcfs"]["ooo"] > rows["laps"]["ooo"]
+
+    def test_headline_positive(self, result):
+        head = fig7.headline(result)
+        assert head["drop_improvement"] > 0.3
+
+
+class TestTiming:
+    def test_critical_path_table(self):
+        res = timing.run_critical_path()
+        assert all(row["sustains_100gbps"] for row in res.rows)
+        base = next(
+            r for r in res.rows if r["hash_ns"] == 5.0 and r["map_entries"] == 256
+        )
+        assert base["max_rate_mpps"] >= 200.0
+
+    def test_table3(self):
+        res = timing.run_table3()
+        values = " ".join(str(r["value"]) for r in res.rows)
+        assert "1.0 GHz" in values and "16 KB" in values
+
+    def test_run_bundles(self):
+        assert len(timing.run()) == 2

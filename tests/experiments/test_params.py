@@ -1,0 +1,76 @@
+"""Tests for Tables IV-VI parameters and calibration."""
+
+import pytest
+
+from repro.experiments.params import (
+    PARAM_SETS,
+    SCENARIOS,
+    SET_UTILISATION,
+    TRACE_GROUPS,
+    scaled_params,
+)
+from repro.sim.generator import HoltWinters, HoltWintersParams
+
+
+class TestTables:
+    def test_two_sets_of_four_services(self):
+        assert set(PARAM_SETS) == {"set1", "set2"}
+        assert all(len(rows) == 4 for rows in PARAM_SETS.values())
+
+    def test_set1_values_match_table_iv(self):
+        s1 = PARAM_SETS["set1"][0]
+        assert (s1.a, s1.c, s1.m, s1.sigma) == (1.0e6, 0.30e6, 40.0, 0.10e6)
+
+    def test_under_vs_overload(self):
+        assert SET_UTILISATION["set1"] < 1.0 < SET_UTILISATION["set2"]
+
+    def test_four_trace_groups(self):
+        assert set(TRACE_GROUPS) == {"G1", "G2", "G3", "G4"}
+        assert all(len(g) == 4 for g in TRACE_GROUPS.values())
+
+    def test_eight_scenarios(self):
+        assert len(SCENARIOS) == 8
+        assert SCENARIOS["T5"].param_set == "set2"
+        assert SCENARIOS["T1"].trace_group == "G1"
+
+    def test_t8_repeats_g3_as_printed(self):
+        assert SCENARIOS["T8"].trace_group == "G3"
+
+    def test_scenario_accessors(self):
+        sc = SCENARIOS["T1"]
+        assert len(sc.params) == 4
+        assert sc.utilisation == SET_UTILISATION["set1"]
+        assert sc.trace_names == TRACE_GROUPS["G1"]
+
+
+class TestScaledParams:
+    def test_per_service_calibration(self):
+        params = PARAM_SETS["set1"]
+        caps = [1e6, 2e6, 3e6, 4e6]
+        scaled = scaled_params(params, caps, utilisation=0.85, duration_s=0.06)
+        for p, cap in zip(scaled, caps):
+            mean = HoltWinters(p).average_rate(0.06)
+            assert mean == pytest.approx(0.85 * cap, rel=0.02)
+
+    def test_time_compression(self):
+        params = [HoltWintersParams(a=1e6, b=1e3, c=1e5, m=40.0)]
+        scaled = scaled_params(params, [1e6], 1.0, 0.06, time_compression=1000)
+        assert scaled[0].m == pytest.approx(0.04)
+
+    def test_shape_preserved(self):
+        """C/a and sigma/a ratios survive calibration."""
+        params = [HoltWintersParams(a=2e6, c=0.5e6, sigma=0.1e6, m=10.0)]
+        scaled = scaled_params(params, [1e6], 1.0, 0.06)
+        assert scaled[0].c / scaled[0].a == pytest.approx(0.25)
+        assert scaled[0].sigma / scaled[0].a == pytest.approx(0.05)
+
+    def test_validation(self):
+        params = [HoltWintersParams(a=1e6)]
+        with pytest.raises(ValueError):
+            scaled_params(params, [1e6, 2e6], 1.0, 0.06)
+        with pytest.raises(ValueError):
+            scaled_params(params, [0.0], 1.0, 0.06)
+        with pytest.raises(ValueError):
+            scaled_params(params, [1e6], 0.0, 0.06)
+        with pytest.raises(ValueError):
+            scaled_params(params, [1e6], 1.0, 0.06, time_compression=0)

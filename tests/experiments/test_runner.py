@@ -1,0 +1,81 @@
+"""Tests for the experiment result container and scenario assembly."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.experiments.params import SCENARIOS
+from repro.experiments.runner import (
+    ExperimentResult,
+    scenario_config,
+    scenario_workload,
+)
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        res = ExperimentResult("x", columns=["a", "b"])
+        res.add(a=1, b=2)
+        res.add(a=3, b=4)
+        assert res.column("a") == [1, 3]
+
+    def test_add_missing_column_rejected(self):
+        res = ExperimentResult("x", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            res.add(a=1)
+
+    def test_extra_kwargs_ignored_in_row(self):
+        res = ExperimentResult("x", columns=["a"])
+        res.add(a=1, b=2)
+        assert res.rows == [{"a": 1}]
+
+    def test_format_contains_title_and_meta(self):
+        res = ExperimentResult("My Table", columns=["a"], meta={"seed": 1})
+        res.add(a=5)
+        out = res.format()
+        assert "My Table" in out and "seed=1" in out and "5" in out
+
+    def test_json_roundtrip(self, tmp_path):
+        res = ExperimentResult("x", columns=["a"], meta={"k": "v"})
+        res.add(a=1)
+        path = tmp_path / "r.json"
+        res.to_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["rows"] == [{"a": 1}]
+        assert loaded["meta"] == {"k": "v"}
+
+
+class TestScenarioAssembly:
+    def test_config_defaults(self):
+        cfg = scenario_config()
+        assert cfg.num_cores == 16
+        assert cfg.queue_capacity == 32
+        assert len(cfg.services) == 4
+
+    def test_workload_builds(self):
+        wl = scenario_workload(
+            SCENARIOS["T1"],
+            duration_ns=units.ms(2),
+            trace_packets=2_000,
+            seed=0,
+        )
+        assert wl.num_services == 4
+        assert wl.num_packets > 100
+
+    def test_offered_load_matches_utilisation(self):
+        """T1 (set1) must offer ~0.85x capacity; T5 (set2) ~1.15x."""
+        from repro.net.service import default_services
+        from repro.trace.models import TRIMODAL_INTERNET_SIZES
+
+        services = default_services()
+        mean = TRIMODAL_INTERNET_SIZES.mean
+        capacity = services.capacity_pps([4, 4, 4, 4], mean)
+        wl1 = scenario_workload(
+            SCENARIOS["T1"], duration_ns=units.ms(5), trace_packets=2000, seed=0
+        )
+        wl5 = scenario_workload(
+            SCENARIOS["T5"], duration_ns=units.ms(5), trace_packets=2000, seed=0
+        )
+        assert wl1.offered_rate_pps() / capacity == pytest.approx(0.85, abs=0.12)
+        assert wl5.offered_rate_pps() / capacity == pytest.approx(1.15, abs=0.12)

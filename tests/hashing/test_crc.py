@@ -1,0 +1,103 @@
+"""Tests for the CRC family (known vectors + scalar/batch agreement)."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.crc import (
+    CRC16_CCITT,
+    CRC16_IBM,
+    CRC32,
+    crc16_ccitt,
+    crc16_ibm,
+    crc32,
+    make_crc_table,
+)
+
+CHECK = b"123456789"
+
+
+class TestKnownVectors:
+    """The standard check value of each CRC over b'123456789'."""
+
+    def test_crc16_ccitt(self):
+        assert crc16_ccitt(CHECK) == 0x29B1
+
+    def test_crc16_ibm(self):
+        assert crc16_ibm(CHECK) == 0xBB3D
+
+    def test_crc32(self):
+        assert crc32(CHECK) == 0xCBF43926
+
+    @given(st.binary(max_size=256))
+    def test_crc32_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_empty_input(self):
+        # CRC of nothing = init (^ xor_out)
+        assert crc16_ccitt(b"") == 0xFFFF
+        assert crc32(b"") == 0
+
+
+class TestTable:
+    def test_table_size(self):
+        assert len(make_crc_table(0x1021, 16, False)) == 256
+
+    def test_table_cached(self):
+        assert make_crc_table(0x1021, 16, False) is make_crc_table(0x1021, 16, False)
+
+    def test_values_fit_width(self):
+        table = make_crc_table(0x1021, 16, False)
+        assert all(0 <= v <= 0xFFFF for v in table)
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            make_crc_table(0x3, 4, False)
+
+
+class TestBatch:
+    @pytest.mark.parametrize("spec", [CRC16_CCITT, CRC16_IBM, CRC32])
+    def test_batch_matches_scalar(self, spec, rng):
+        rows = rng.integers(0, 256, size=(64, 13), dtype=np.uint8)
+        batch = spec.checksum_batch(rows)
+        for i in range(rows.shape[0]):
+            assert int(batch[i]) == spec.checksum(rows[i].tobytes())
+
+    def test_batch_empty(self):
+        out = CRC16_CCITT.checksum_batch(np.empty((0, 13), dtype=np.uint8))
+        assert out.shape == (0,)
+
+    def test_batch_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            CRC16_CCITT.checksum_batch(np.zeros((2, 4), dtype=np.int32))
+
+    def test_batch_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CRC16_CCITT.checksum_batch(np.zeros(4, dtype=np.uint8))
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_batch_row_width_independent(self, width):
+        rows = np.arange(width * 3, dtype=np.uint8).reshape(3, width)
+        batch = CRC16_CCITT.checksum_batch(rows)
+        for i in range(3):
+            assert int(batch[i]) == CRC16_CCITT.checksum(rows[i].tobytes())
+
+
+class TestSpecProperties:
+    def test_mask(self):
+        assert CRC16_CCITT.mask == 0xFFFF
+        assert CRC32.mask == 0xFFFFFFFF
+
+    def test_output_within_width(self, rng):
+        for _ in range(20):
+            data = rng.integers(0, 256, size=20, dtype=np.uint8).tobytes()
+            assert 0 <= crc16_ccitt(data) <= 0xFFFF
+
+    def test_different_inputs_usually_differ(self):
+        assert crc16_ccitt(b"flow-a") != crc16_ccitt(b"flow-b")
+
+    def test_deterministic(self):
+        assert crc16_ccitt(b"x" * 13) == crc16_ccitt(b"x" * 13)

@@ -1,0 +1,102 @@
+"""Tests for flow keys: packing layout, validation, batch agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.crc import CRC16_CCITT
+from repro.hashing.five_tuple import (
+    KEY_BYTES,
+    FiveTuple,
+    flow_hash,
+    flow_hash_batch,
+    pack_five_tuple,
+    pack_five_tuples_batch,
+)
+
+ipv4 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+port = st.integers(min_value=0, max_value=0xFFFF)
+proto = st.integers(min_value=0, max_value=0xFF)
+five_tuples = st.builds(FiveTuple, ipv4, ipv4, port, port, proto)
+
+
+class TestPacking:
+    def test_layout(self):
+        key = FiveTuple(0x0A000001, 0xC0A80101, 0x1234, 0x0050, 6)
+        packed = pack_five_tuple(key)
+        assert len(packed) == KEY_BYTES == 13
+        assert packed == bytes(
+            [0x0A, 0, 0, 1, 0xC0, 0xA8, 1, 1, 0x12, 0x34, 0x00, 0x50, 6]
+        )
+
+    @given(five_tuples)
+    def test_packed_method_matches(self, key):
+        assert key.packed() == pack_five_tuple(key)
+
+    def test_out_of_range_ip_rejected(self):
+        with pytest.raises(ValueError):
+            pack_five_tuple(FiveTuple(1 << 32, 0, 0, 0, 0))
+
+    def test_out_of_range_port_rejected(self):
+        with pytest.raises(ValueError):
+            pack_five_tuple(FiveTuple(0, 0, 70000, 0, 0))
+
+    def test_out_of_range_proto_rejected(self):
+        with pytest.raises(ValueError):
+            pack_five_tuple(FiveTuple(0, 0, 0, 0, 300))
+
+
+class TestFromStrings:
+    def test_roundtrip(self):
+        key = FiveTuple.from_strings("10.1.2.3", "192.168.0.1", 80, 443, 6)
+        assert key.src_ip == (10 << 24) | (1 << 16) | (2 << 8) | 3
+        assert key.dst_ip == (192 << 24) | (168 << 16) | 1
+
+    def test_str_rendering(self):
+        key = FiveTuple.from_strings("10.0.0.1", "10.0.0.2", 1, 2, 17)
+        assert "10.0.0.1:1" in str(key)
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ValueError):
+            FiveTuple.from_strings("10.0.0", "10.0.0.1", 1, 2, 6)
+
+    def test_bad_octet_rejected(self):
+        with pytest.raises(ValueError):
+            FiveTuple.from_strings("10.0.0.300", "10.0.0.1", 1, 2, 6)
+
+
+class TestBatchPacking:
+    @given(st.lists(five_tuples, min_size=1, max_size=20))
+    def test_batch_matches_scalar(self, keys):
+        packed = pack_five_tuples_batch(
+            np.array([k.src_ip for k in keys]),
+            np.array([k.dst_ip for k in keys]),
+            np.array([k.src_port for k in keys]),
+            np.array([k.dst_port for k in keys]),
+            np.array([k.protocol for k in keys]),
+        )
+        for i, key in enumerate(keys):
+            assert packed[i].tobytes() == pack_five_tuple(key)
+
+
+class TestHashing:
+    def test_flow_hash_is_crc16_of_packed(self):
+        key = FiveTuple.from_strings("1.2.3.4", "5.6.7.8", 9, 10, 6)
+        assert flow_hash(key) == CRC16_CCITT.checksum(key.packed())
+
+    @given(st.lists(five_tuples, min_size=1, max_size=16))
+    def test_batch_hash_matches_scalar(self, keys):
+        hashes = flow_hash_batch(
+            np.array([k.src_ip for k in keys]),
+            np.array([k.dst_ip for k in keys]),
+            np.array([k.src_port for k in keys]),
+            np.array([k.dst_port for k in keys]),
+            np.array([k.protocol for k in keys]),
+        )
+        for i, key in enumerate(keys):
+            assert int(hashes[i]) == flow_hash(key)
+
+    def test_hash_in_16_bit_range(self):
+        key = FiveTuple.from_strings("8.8.8.8", "1.1.1.1", 53, 53, 17)
+        assert 0 <= flow_hash(key) <= 0xFFFF

@@ -1,0 +1,89 @@
+"""Tests for the Toeplitz/RSS hash against the Microsoft spec vectors."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.toeplitz import MICROSOFT_RSS_KEY, ToeplitzHasher
+
+
+def _ip(s: str) -> int:
+    parts = [int(x) for x in s.split(".")]
+    return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+
+
+#: (src, sport, dst, dport, expected) from the Microsoft RSS
+#: verification suite (IPv4 with TCP ports).
+MS_VECTORS = [
+    ("66.9.149.187", 2794, "161.142.100.80", 1766, 0x51CCC178),
+    ("199.92.111.2", 14230, "65.69.140.83", 4739, 0xC626B0EA),
+    ("24.19.198.95", 12898, "12.22.207.184", 38024, 0x5C2B394A),
+]
+
+
+class TestMicrosoftVectors:
+    @pytest.mark.parametrize("src,sport,dst,dport,expected", MS_VECTORS)
+    def test_ipv4_tcp(self, src, sport, dst, dport, expected):
+        th = ToeplitzHasher()
+        assert th.hash_ipv4(_ip(src), _ip(dst), sport, dport) == expected
+
+
+class TestHasher:
+    def test_default_key(self):
+        assert ToeplitzHasher().key == MICROSOFT_RSS_KEY
+        assert len(MICROSOFT_RSS_KEY) == 40
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            ToeplitzHasher(b"abc")
+
+    def test_empty_input(self):
+        assert ToeplitzHasher().hash(b"") == 0
+
+    def test_input_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            ToeplitzHasher().hash(b"x" * 37)
+
+    def test_hash_32_bit(self):
+        h = ToeplitzHasher().hash(b"\xff" * 12)
+        assert 0 <= h <= 0xFFFFFFFF
+
+    def test_deterministic(self):
+        th = ToeplitzHasher()
+        assert th.hash(b"abcd") == th.hash(b"abcd")
+
+    def test_linearity(self):
+        """Toeplitz is linear over GF(2): H(a ^ b) == H(a) ^ H(b)."""
+        th = ToeplitzHasher()
+        a = bytes([1, 2, 3, 4])
+        b = bytes([5, 6, 7, 8])
+        xored = bytes(x ^ y for x, y in zip(a, b))
+        assert th.hash(xored) == th.hash(a) ^ th.hash(b)
+
+
+class TestBatch:
+    def test_batch_matches_scalar(self, rng):
+        th = ToeplitzHasher()
+        rows = rng.integers(0, 256, size=(32, 12), dtype=np.uint8)
+        batch = th.hash_batch(rows)
+        for i in range(rows.shape[0]):
+            assert int(batch[i]) == th.hash(rows[i].tobytes())
+
+    def test_batch_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            ToeplitzHasher().hash_batch(np.zeros((2, 12), dtype=np.int64))
+
+    def test_batch_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            ToeplitzHasher().hash_batch(np.zeros((2, 37), dtype=np.uint8))
+
+    def test_batch_vectors(self):
+        th = ToeplitzHasher()
+        rows = np.zeros((len(MS_VECTORS), 12), dtype=np.uint8)
+        for i, (src, sport, dst, dport, _) in enumerate(MS_VECTORS):
+            rows[i, :4] = list(_ip(src).to_bytes(4, "big"))
+            rows[i, 4:8] = list(_ip(dst).to_bytes(4, "big"))
+            rows[i, 8:10] = list(sport.to_bytes(2, "big"))
+            rows[i, 10:12] = list(dport.to_bytes(2, "big"))
+        out = th.hash_batch(rows)
+        for i, (_, _, _, _, expected) in enumerate(MS_VECTORS):
+            assert int(out[i]) == expected

@@ -1,0 +1,151 @@
+"""Tests for the Frame-Manager packet classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashing.five_tuple import FiveTuple
+from repro.net.classifier import MatchRule, ServiceClassifier, default_edge_rules
+from repro.trace.trace import Trace
+
+
+def key(src="10.0.0.1", dst="192.168.0.1", sport=40000, dport=80, proto=6):
+    return FiveTuple.from_strings(src, dst, sport, dport, proto)
+
+
+class TestMatchRule:
+    def test_wildcard_matches_everything(self):
+        assert MatchRule(0).matches(key())
+
+    def test_protocol_filter(self):
+        rule = MatchRule(0, protocol=17)
+        assert not rule.matches(key(proto=6))
+        assert rule.matches(key(proto=17))
+
+    def test_port_range(self):
+        rule = MatchRule(0, dst_ports=(80, 90))
+        assert rule.matches(key(dport=85))
+        assert not rule.matches(key(dport=79))
+
+    def test_src_prefix(self):
+        rule = MatchRule(0, src_prefix="10.0.0.0/8")
+        assert rule.matches(key(src="10.200.3.4"))
+        assert not rule.matches(key(src="11.0.0.1"))
+
+    def test_dst_prefix_exact_host(self):
+        rule = MatchRule(0, dst_prefix="192.168.0.1/32")
+        assert rule.matches(key(dst="192.168.0.1"))
+        assert not rule.matches(key(dst="192.168.0.2"))
+
+    def test_zero_length_prefix_matches_all(self):
+        assert MatchRule(0, src_prefix="0.0.0.0/0").matches(key())
+
+    def test_conjunction(self):
+        rule = MatchRule(0, protocol=6, dst_ports=(443, 443))
+        assert rule.matches(key(dport=443))
+        assert not rule.matches(key(dport=443, proto=17))
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"service_id": -1},
+            {"service_id": 0, "dst_ports": (5, 2)},
+            {"service_id": 0, "dst_ports": (0, 70000)},
+            {"service_id": 0, "src_prefix": "10.0.0/8"},
+            {"service_id": 0, "src_prefix": "10.0.0.0/40"},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigError):
+            MatchRule(**kw)
+
+
+class TestClassifier:
+    def make(self):
+        return ServiceClassifier(
+            rules=[
+                MatchRule(2, protocol=6, dst_ports=(443, 443)),
+                MatchRule(1, protocol=17),
+            ],
+            default_service=0,
+        )
+
+    def test_first_match_wins(self):
+        clf = ServiceClassifier(
+            rules=[MatchRule(1, protocol=6), MatchRule(2, dst_ports=(80, 80))],
+        )
+        assert clf.classify(key(dport=80, proto=6)) == 1
+
+    def test_default_service(self):
+        assert self.make().classify(key(dport=22, proto=6)) == 0
+
+    def test_num_services(self):
+        assert self.make().num_services == 3
+
+    def test_classify_flows_matches_scalar(self, small_synthetic):
+        clf = default_edge_rules()
+        per_flow = clf.classify_flows(small_synthetic)
+        for fid in range(0, small_synthetic.num_flows, 37):
+            assert per_flow[fid] == clf.classify(small_synthetic.five_tuple(fid))
+
+    def test_split_trace_partitions_packets(self, small_synthetic):
+        clf = default_edge_rules()
+        parts = clf.split_trace(small_synthetic)
+        assert sum(p.num_packets for p in parts) == small_synthetic.num_packets
+        per_flow = clf.classify_flows(small_synthetic)
+        for sid, part in enumerate(parts):
+            if part.num_packets:
+                assert set(per_flow[np.unique(part.flow_id)]) == {sid}
+
+    def test_split_trace_shares_flow_table(self, small_synthetic):
+        parts = default_edge_rules().split_trace(small_synthetic)
+        for p in parts:
+            assert p.num_flows == small_synthetic.num_flows
+
+    def test_invalid_default(self):
+        with pytest.raises(ConfigError):
+            ServiceClassifier([], default_service=-1)
+
+
+class TestDefaultEdgeRules:
+    def test_https_goes_to_scan(self):
+        assert default_edge_rules().classify(key(dport=443)) == 2
+
+    def test_vpn_out(self):
+        assert default_edge_rules().classify(key(dport=1194, proto=17)) == 0
+
+    def test_vpn_in(self):
+        assert default_edge_rules().classify(key(sport=1194, dport=9999)) == 3
+
+    def test_default_forwarding(self):
+        assert default_edge_rules().classify(key(dport=12345, proto=17)) == 1
+
+    def test_covers_four_services(self):
+        assert default_edge_rules().num_services == 4
+
+    def test_end_to_end_with_workload(self, small_synthetic, tiny_trace):
+        """A single mixed trace drives a 4-service simulation."""
+        from repro import units
+        from repro.core.laps import LAPSConfig, LAPSScheduler
+        from repro.net.service import default_services
+        from repro.sim.config import SimConfig
+        from repro.sim.generator import HoltWintersParams
+        from repro.sim.system import simulate
+        from repro.sim.workload import build_workload
+
+        clf = default_edge_rules()
+        parts = clf.split_trace(small_synthetic)
+        # guard against empty parts: give each at least one packet
+        parts = [p if p.num_packets else tiny_trace for p in parts]
+        services = default_services()
+        params = [
+            HoltWintersParams(a=0.4 * 4 * services[i].capacity_pps(348))
+            for i in range(4)
+        ]
+        wl = build_workload(parts, params, units.ms(3), seed=0)
+        rep = simulate(
+            wl, LAPSScheduler(LAPSConfig(num_services=4)),
+            SimConfig(num_cores=16, collect_latencies=False),
+        )
+        assert rep.departed > 0
+        assert rep.cold_cache_fraction < 0.05

@@ -1,0 +1,111 @@
+"""Tests for flow records and the flow table."""
+
+import pytest
+
+from repro.hashing.five_tuple import FiveTuple
+from repro.net.flow import FlowRecord, FlowTable
+
+
+def key(i: int) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0xC0A80001, 1000 + i, 80, 6)
+
+
+class TestFlowRecord:
+    def test_observe_accumulates(self):
+        rec = FlowRecord(0)
+        rec.observe(100, 10)
+        rec.observe(200, 30)
+        assert rec.packets == 2
+        assert rec.bytes == 300
+        assert rec.first_ns == 10 and rec.last_ns == 30
+
+    def test_assign_core_first_time_not_migration(self):
+        rec = FlowRecord(0)
+        assert rec.assign_core(3) is False
+        assert rec.migrations == 0
+
+    def test_assign_core_same_core_not_migration(self):
+        rec = FlowRecord(0)
+        rec.assign_core(3)
+        assert rec.assign_core(3) is False
+
+    def test_assign_core_change_is_migration(self):
+        rec = FlowRecord(0)
+        rec.assign_core(3)
+        assert rec.assign_core(5) is True
+        assert rec.migrations == 1
+        assert rec.last_core == 5
+
+    def test_mean_rate(self):
+        rec = FlowRecord(0)
+        rec.observe(1, 0)
+        rec.observe(1, 1_000_000_000)  # 1 s apart
+        assert rec.mean_rate_pps == pytest.approx(1.0)
+
+    def test_mean_rate_single_packet_zero(self):
+        rec = FlowRecord(0)
+        rec.observe(1, 5)
+        assert rec.mean_rate_pps == 0.0
+
+
+class TestFlowTable:
+    def test_intern_assigns_dense_ids(self):
+        table = FlowTable()
+        assert table.intern(key(0)) == 0
+        assert table.intern(key(1)) == 1
+        assert table.intern(key(0)) == 0
+        assert len(table) == 2
+
+    def test_lookup(self):
+        table = FlowTable()
+        table.intern(key(7))
+        assert table.lookup(key(7)) == 0
+        assert table.lookup(key(8)) is None
+
+    def test_ensure_grows(self):
+        table = FlowTable()
+        rec = table.ensure(4, service_id=2)
+        assert len(table) == 5
+        assert rec.flow_id == 4
+        assert rec.service_id == 2
+
+    def test_ensure_keeps_existing_service(self):
+        table = FlowTable()
+        table.ensure(0, service_id=1)
+        rec = table.ensure(0, service_id=3)
+        assert rec.service_id == 1
+
+    def test_ensure_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTable().ensure(-1)
+
+    def test_top_by_bytes(self):
+        table = FlowTable()
+        for i, size in enumerate([100, 500, 300]):
+            table.ensure(i).observe(size, 0)
+        top = table.top_by_bytes(2)
+        assert [r.flow_id for r in top] == [1, 2]
+
+    def test_top_by_packets_tie_break_by_id(self):
+        table = FlowTable()
+        for i in range(3):
+            table.ensure(i).observe(10, 0)
+        top = table.top_by_packets(2)
+        assert [r.flow_id for r in top] == [0, 1]
+
+    def test_top_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTable().top_by_bytes(-1)
+
+    def test_total_migrations(self):
+        table = FlowTable()
+        rec = table.ensure(0)
+        rec.assign_core(0)
+        rec.assign_core(1)
+        rec.assign_core(0)
+        assert table.total_migrations() == 2
+
+    def test_iteration(self):
+        table = FlowTable()
+        table.ensure(2)
+        assert [r.flow_id for r in table] == [0, 1, 2]

@@ -1,0 +1,51 @@
+"""Tests for the Packet descriptor."""
+
+import pytest
+
+from repro.net.packet import Packet
+
+
+def make(**kw):
+    defaults = dict(flow_id=0, service_id=0, size_bytes=64, seq=0, arrival_ns=100)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestValidation:
+    def test_valid(self):
+        p = make()
+        assert p.flow_id == 0 and not p.dropped
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            make(size_bytes=0)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            make(seq=-1)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            make(arrival_ns=-5)
+
+
+class TestDerived:
+    def test_latency_before_departure(self):
+        assert make().latency_ns == -1
+
+    def test_latency(self):
+        p = make(arrival_ns=100)
+        p.depart_ns = 350
+        assert p.latency_ns == 250
+
+    def test_queueing_before_start(self):
+        assert make().queueing_ns == -1
+
+    def test_queueing(self):
+        p = make(arrival_ns=100)
+        p.start_ns = 180
+        assert p.queueing_ns == 80
+
+    def test_slots_prevent_new_attrs(self):
+        with pytest.raises(AttributeError):
+            make().nonsense = 1

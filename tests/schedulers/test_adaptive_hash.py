@@ -1,0 +1,122 @@
+"""Tests for the adaptive-hashing scheduler (Shi & Kencl extension)."""
+
+import pytest
+
+from repro.schedulers.adaptive_hash import AdaptiveHashScheduler
+from tests.schedulers.test_base import FakeLoads
+
+
+def make(num_cores=4, **kw):
+    kw.setdefault("rebalance_every_ns", 1000)
+    sched = AdaptiveHashScheduler(**kw)
+    sched.bind(FakeLoads([0] * num_cores))
+    return sched
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"buckets_per_core": 0},
+            {"rebalance_every_ns": 0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"max_moves_per_round": 0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            AdaptiveHashScheduler(**kw)
+
+    def test_initial_round_robin(self):
+        sched = make()
+        assert sched.select_core(0, 0, 0, 0) == 0
+        assert sched.select_core(0, 0, 5, 0) == 1
+
+    def test_registered(self):
+        from repro.schedulers.base import make_scheduler
+
+        assert make_scheduler("adaptive-hash").name == "adaptive-hash"
+
+
+class TestRebalancing:
+    def test_rebalance_fires_on_schedule(self):
+        sched = make()
+        sched.select_core(0, 0, 0, 0)
+        assert sched.rebalances == 0
+        sched.select_core(0, 0, 0, 1500)
+        assert sched.rebalances == 1
+
+    def test_catches_up_after_gap(self):
+        sched = make()
+        sched.select_core(0, 0, 0, 10_500)
+        sched.select_core(0, 0, 0, 10_600)
+        assert sched.rebalances == 1  # one rebalance, schedule caught up
+
+    def test_overloaded_core_sheds_a_bucket(self):
+        sched = make()
+        # buckets 0 and 4 both live on core 0 and both carry medium
+        # load; the other cores carry a trickle -> moving one of core
+        # 0's buckets flattens the load
+        t = 0
+        for _ in range(6):
+            for _ in range(40):
+                sched.select_core(0, 0, 0, t)
+                sched.select_core(1, 0, 4, t)
+            for other in (1, 2, 3):
+                sched.select_core(2, 0, other, t)
+            t += 1100
+        assert sched.bucket_moves > 0
+        # after the move, buckets 0 and 4 sit on different cores
+        assert sched.select_core(0, 0, 0, t) != sched.select_core(1, 0, 4, t)
+
+    def test_balanced_traffic_moves_nothing(self):
+        sched = make()
+        t = 0
+        for _ in range(5):
+            for h in range(64):
+                sched.select_core(0, 0, h, t)
+            t += 1100
+        assert sched.bucket_moves == 0
+
+    def test_flow_affinity_between_rebalances(self):
+        sched = make(rebalance_every_ns=10**9)
+        picks = {sched.select_core(1, 0, 7, t) for t in range(100)}
+        assert len(picks) == 1
+
+    def test_stats(self):
+        sched = make()
+        assert set(sched.stats()) == {"rebalances", "bucket_moves"}
+
+
+class TestEndToEnd:
+    def test_runs_in_simulator(self, small_workload, single_service):
+        from repro.sim.config import SimConfig
+        from repro.sim.system import simulate
+
+        cfg = SimConfig(num_cores=4, services=single_service,
+                        collect_latencies=False)
+        rep = simulate(small_workload, AdaptiveHashScheduler(), cfg)
+        assert rep.departed > 0
+
+    def test_beats_static_hash_on_skewed_load(self, single_service):
+        """Periodic re-balancing should not lose to a frozen map."""
+        from repro import units
+        from repro.schedulers.hash_static import StaticHashScheduler
+        from repro.sim.config import SimConfig
+        from repro.sim.generator import HoltWintersParams
+        from repro.sim.system import simulate
+        from repro.sim.workload import build_workload
+        from repro.trace.synthetic import preset_trace
+
+        trace = preset_trace("caida-1", num_packets=60_000)
+        cap = single_service.capacity_pps([8], 348)
+        wl = build_workload(
+            [trace], [HoltWintersParams(a=1.02 * cap)], units.ms(8), seed=3
+        )
+        cfg = SimConfig(num_cores=8, services=single_service,
+                        collect_latencies=False)
+        adaptive = simulate(wl, AdaptiveHashScheduler(
+            rebalance_every_ns=units.us(200)), cfg)
+        static = simulate(wl, StaticHashScheduler(), cfg)
+        assert adaptive.dropped <= static.dropped * 1.05

@@ -1,0 +1,96 @@
+"""Tests for the AFS (bucket-shift) baseline."""
+
+import pytest
+
+from repro.schedulers.afs import AFSScheduler
+from tests.schedulers.test_base import FakeLoads
+
+
+def make(num_cores=4, **kw):
+    kw.setdefault("high_threshold", 4)
+    kw.setdefault("cooldown_ns", 0)
+    sched = AFSScheduler(**kw)
+    loads = FakeLoads([0] * num_cores)
+    sched.bind(loads)
+    return sched, loads
+
+
+class TestConstruction:
+    def test_buckets_scale_with_cores(self):
+        sched, _ = make(num_cores=4)
+        assert sched.num_buckets == 4 * 16
+
+    @pytest.mark.parametrize(
+        "kw", [{"buckets_per_core": 0}, {"high_threshold": 0}, {"cooldown_ns": -1}]
+    )
+    def test_invalid_params(self, kw):
+        with pytest.raises(ValueError):
+            AFSScheduler(**kw)
+
+    def test_threshold_must_fit_queue(self):
+        sched = AFSScheduler(high_threshold=64)
+        with pytest.raises(ValueError):
+            sched.bind(FakeLoads([0] * 2))
+
+    def test_rebind_resets(self):
+        sched, loads = make()
+        loads.occ[sched.select_core(0, 0, 0, 0)] = 4
+        sched.select_core(0, 0, 0, 1)
+        sched.bind(FakeLoads([0] * 4))
+        assert sched.bucket_migrations == 0
+
+
+class TestSteering:
+    def test_initial_round_robin(self):
+        sched, _ = make()
+        assert sched.select_core(0, 0, 0, 0) == 0
+        assert sched.select_core(0, 0, 1, 0) == 1
+
+    def test_flow_affinity_when_balanced(self):
+        sched, _ = make()
+        picks = {sched.select_core(3, 0, 777, t) for t in range(10)}
+        assert len(picks) == 1
+
+
+class TestBucketMigration:
+    def test_bucket_shifts_on_overload(self):
+        sched, loads = make()
+        home = sched.select_core(0, 0, 5, 0)
+        loads.occ[home] = 4
+        dest = sched.select_core(0, 0, 5, 1)
+        assert dest != home
+        assert sched.bucket_migrations == 1
+        # the whole bucket moved: same hash keeps the new core
+        loads.occ[home] = 0
+        assert sched.select_core(0, 0, 5, 2) == dest
+
+    def test_all_bucket_flows_move_together(self):
+        sched, loads = make()
+        h1, h2 = 5, 5 + sched.num_buckets  # same bucket
+        home = sched.select_core(0, 0, h1, 0)
+        loads.occ[home] = 4
+        dest = sched.select_core(0, 0, h1, 1)
+        assert sched.select_core(1, 0, h2, 2) == dest
+
+    def test_cooldown_rate_limits(self):
+        sched, loads = make(cooldown_ns=1000)
+        for occ in range(4):
+            loads.occ[occ] = 4
+        loads.occ[3] = 0
+        sched.select_core(0, 0, 0, 0)   # migrates bucket 0
+        before = sched.bucket_migrations
+        sched.select_core(0, 0, 1, 10)  # within cooldown: no shift
+        assert sched.bucket_migrations == before
+
+    def test_no_migration_when_all_overloaded(self):
+        sched, loads = make()
+        for c in range(4):
+            loads.occ[c] = 4
+        home = sched.select_core(0, 0, 7, 0)
+        assert home == 7 % sched.num_buckets % 4 or home in range(4)
+        assert sched.bucket_migrations == 0
+
+    def test_stats(self):
+        sched, _ = make()
+        stats = sched.stats()
+        assert "bucket_migrations" in stats and "imbalance_events" in stats

@@ -1,0 +1,73 @@
+"""Tests for the single-cache ElephantTrap comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core.afd import AFDConfig, AggressiveFlowDetector
+from repro.schedulers.elephant_trap import ElephantTrap
+
+
+def stream(weights, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.choice(len(weights), size=n, p=np.asarray(weights) / sum(weights))
+
+
+class TestBasics:
+    def test_observe_and_query(self):
+        trap = ElephantTrap(entries=4)
+        for _ in range(3):
+            trap.observe(1)
+        assert trap.is_aggressive(1)
+
+    def test_invalidate(self):
+        trap = ElephantTrap(entries=4)
+        trap.observe(1)
+        assert trap.invalidate(1)
+        assert not trap.is_aggressive(1)
+
+    def test_reset(self):
+        trap = ElephantTrap(entries=4)
+        trap.observe(1)
+        trap.reset()
+        assert trap.aggressive_flows() == []
+        assert trap.observed == 0
+
+    @pytest.mark.parametrize("kw", [{"entries": 0}, {"admit_prob": 0.0}, {"admit_prob": 2.0}])
+    def test_invalid_params(self, kw):
+        with pytest.raises(ValueError):
+            ElephantTrap(**kw)
+
+    def test_probabilistic_admission_thins_inserts(self):
+        trap = ElephantTrap(entries=1000, admit_prob=0.05, rng=0)
+        for f in range(1000):
+            trap.observe(f)
+        assert len(trap.cache) < 200
+
+    def test_fpr_and_accuracy(self):
+        trap = ElephantTrap(entries=2)
+        trap.observe(1)
+        trap.observe(2)
+        assert trap.false_positive_ratio({1}) == pytest.approx(0.5)
+        assert trap.accuracy({1}) == pytest.approx(0.5)
+
+    def test_fpr_empty(self):
+        assert ElephantTrap().false_positive_ratio({1}) == 0.0
+
+
+class TestVersusAFD:
+    def test_two_level_filters_better(self):
+        """The paper's Sec. VI claim: a single cache admits mice that
+        the annex would have filtered out."""
+        weights = [50] * 8 + [1] * 400  # 8 elephants among many mice
+        flows = stream(weights, 40_000, seed=3)
+        truth = set(range(8))
+
+        afd = AggressiveFlowDetector(
+            AFDConfig(afc_entries=8, annex_entries=128, promote_threshold=4),
+            rng=0,
+        )
+        trap = ElephantTrap(entries=8, rng=0)
+        for f in flows:
+            afd.observe(int(f))
+            trap.observe(int(f))
+        assert afd.false_positive_ratio(truth) <= trap.false_positive_ratio(truth)

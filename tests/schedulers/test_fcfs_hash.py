@@ -1,0 +1,50 @@
+"""Tests for the FCFS and static-hash baselines."""
+
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.hash_static import StaticHashScheduler
+from tests.schedulers.test_base import FakeLoads
+
+
+class TestFCFS:
+    def test_picks_least_loaded(self):
+        sched = FCFSScheduler()
+        sched.bind(FakeLoads([5, 1, 3]))
+        assert sched.select_core(0, 0, 0, 0) == 1
+
+    def test_rotating_tie_break(self):
+        sched = FCFSScheduler()
+        sched.bind(FakeLoads([0, 0, 0]))
+        picks = [sched.select_core(i, 0, i, i) for i in range(6)]
+        # ties rotate instead of always picking core 0
+        assert set(picks) == {0, 1, 2}
+
+    def test_ignores_flow_and_service(self):
+        sched = FCFSScheduler()
+        loads = FakeLoads([2, 0])
+        sched.bind(loads)
+        assert sched.select_core(1, 0, 99, 0) == sched.select_core(2, 3, 7, 1)
+
+    def test_zero_queue_short_circuit(self):
+        sched = FCFSScheduler()
+        sched.bind(FakeLoads([0] * 64))
+        assert sched.select_core(0, 0, 0, 0) in range(64)
+
+
+class TestStaticHash:
+    def test_modulo_mapping(self):
+        sched = StaticHashScheduler()
+        sched.bind(FakeLoads([0] * 4))
+        for h in range(32):
+            assert sched.select_core(0, 0, h, 0) == h % 4
+
+    def test_flow_affinity(self):
+        sched = StaticHashScheduler()
+        sched.bind(FakeLoads([0] * 8))
+        picks = {sched.select_core(7, 0, 12345, t) for t in range(10)}
+        assert len(picks) == 1
+
+    def test_oblivious_to_load(self):
+        sched = StaticHashScheduler()
+        loads = FakeLoads([0, 100])
+        sched.bind(loads)
+        assert sched.select_core(0, 0, 1, 0) == 1  # despite the backlog

@@ -1,0 +1,125 @@
+"""Tests for the exact top-k detector and migration scheduler."""
+
+import pytest
+
+from repro.schedulers.oracle import ExactTopKDetector, TopKMigrationScheduler
+from tests.schedulers.test_base import FakeLoads
+
+
+class TestExactTopKDetector:
+    def test_tracks_top_k(self):
+        det = ExactTopKDetector(2, refresh_every=10)
+        for _ in range(20):
+            det.observe(1)
+        for _ in range(15):
+            det.observe(2)
+        for _ in range(5):
+            det.observe(3)
+        assert det.is_aggressive(1) and det.is_aggressive(2)
+        assert not det.is_aggressive(3)
+        assert det.top_flows() == [1, 2]
+
+    def test_k_zero_never_aggressive(self):
+        det = ExactTopKDetector(0, refresh_every=5)
+        for _ in range(50):
+            det.observe(1)
+        assert not det.is_aggressive(1)
+
+    def test_refresh_cadence(self):
+        det = ExactTopKDetector(1, refresh_every=100)
+        for _ in range(99):
+            det.observe(1)
+        assert not det.is_aggressive(1)  # no refresh yet
+        det.observe(1)
+        assert det.is_aggressive(1)
+
+    def test_invalidation_suppresses(self):
+        det = ExactTopKDetector(1, refresh_every=5, suppress_for=20)
+        for _ in range(10):
+            det.observe(1)
+        assert det.invalidate(1)
+        assert not det.is_aggressive(1)
+
+    def test_suppression_expires(self):
+        det = ExactTopKDetector(1, refresh_every=5, suppress_for=10)
+        for _ in range(10):
+            det.observe(1)
+        det.invalidate(1)
+        for _ in range(15):
+            det.observe(1)
+        assert det.is_aggressive(1)
+
+    def test_weighted_observation(self):
+        det = ExactTopKDetector(1, refresh_every=2)
+        det.observe(1, weight=100)
+        det.observe(2, weight=1)
+        assert det.is_aggressive(1)
+
+    @pytest.mark.parametrize(
+        "kw", [{"k": -1}, {"k": 1, "refresh_every": 0}, {"k": 1, "suppress_for": -1}]
+    )
+    def test_invalid_params(self, kw):
+        with pytest.raises(ValueError):
+            ExactTopKDetector(**kw)
+
+
+class TestTopKMigrationScheduler:
+    def make(self, num_cores=4, **kw):
+        kw.setdefault("high_threshold", 4)
+        kw.setdefault("detector", ExactTopKDetector(2, refresh_every=1))
+        sched = TopKMigrationScheduler(**kw)
+        loads = FakeLoads([0] * num_cores)
+        sched.bind(loads)
+        return sched, loads
+
+    def test_hash_dispatch_when_balanced(self):
+        sched, _ = self.make()
+        assert sched.select_core(0, 0, 7, 0) == 3
+
+    def test_topk_flow_migrates(self):
+        sched, loads = self.make()
+        for t in range(10):
+            sched.select_core(1, 0, 5, t)  # flow 1 becomes top-k
+        home = 5 % 4
+        loads.occ[home] = 4
+        dest = sched.select_core(1, 0, 5, 100)
+        assert dest != home
+        assert sched.migration.lookup(1) == dest
+        assert sched.migrations_installed == 1
+
+    def test_mouse_not_migrated(self):
+        sched, loads = self.make()
+        for t in range(10):
+            sched.select_core(1, 0, 5, t)
+            sched.select_core(2, 0, 6, t)
+        loads.occ[3] = 4
+        dest = sched.select_core(9, 0, 7, 100)  # one-packet mouse
+        assert dest == 3
+        assert sched.migration.lookup(9) is None
+
+    def test_pin_persists(self):
+        sched, loads = self.make()
+        for t in range(10):
+            sched.select_core(1, 0, 5, t)
+        loads.occ[5 % 4] = 4
+        dest = sched.select_core(1, 0, 5, 100)
+        loads.occ[5 % 4] = 0
+        assert sched.select_core(1, 0, 5, 200) == dest
+
+    def test_pin_aware_placement(self):
+        sched, loads = self.make(num_cores=8)
+        for f, h in ((1, 0), (2, 8)):
+            for t in range(10):
+                sched.select_core(f, 0, h, t)
+        loads.occ[0] = 4
+        d1 = sched.select_core(1, 0, 0, 100)
+        d2 = sched.select_core(2, 0, 8, 101)
+        assert d1 != d2  # second elephant avoids the first's pin
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            TopKMigrationScheduler(high_threshold=0)
+
+    def test_stats(self):
+        sched, _ = self.make()
+        assert "migrations_installed" in sched.stats()

@@ -1,0 +1,55 @@
+"""Tests for the simulation CLI."""
+
+import pytest
+
+from repro.sim.cli import main
+
+
+class TestCompare:
+    def test_single_service_presets(self, capsys):
+        rc = main([
+            "compare", "--trace", "auck-1", "--packets", "5000",
+            "--cores", "4", "--duration-ms", "2",
+            "--schedulers", "hash-static", "laps",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheduler comparison" in out
+        assert "laps" in out and "hash-static" in out
+
+    def test_multiservice(self, capsys):
+        rc = main([
+            "compare", "--trace", "caida-1", "--packets", "5000",
+            "--cores", "8", "--duration-ms", "2", "--multiservice",
+            "--schedulers", "fcfs", "laps",
+        ])
+        assert rc == 0
+        assert "cold %" in capsys.readouterr().out
+
+    def test_npz_source(self, tmp_path, tiny_trace, capsys):
+        path = tmp_path / "t.npz"
+        tiny_trace.save_npz(path)
+        rc = main([
+            "compare", "--trace", str(path), "--cores", "2",
+            "--duration-ms", "1", "--utilisation", "0.5",
+            "--schedulers", "fcfs",
+        ])
+        assert rc == 0
+
+    def test_pcap_source(self, tmp_path, capsys):
+        from repro.hashing.five_tuple import FiveTuple
+        from repro.trace.pcap import write_pcap
+
+        pcap = tmp_path / "c.pcap"
+        key = FiveTuple.from_strings("10.0.0.1", "10.0.0.2", 5, 6, 6)
+        write_pcap(pcap, [(i * 1000, key, 100) for i in range(20)])
+        rc = main([
+            "compare", "--pcap", str(pcap), "--cores", "2",
+            "--duration-ms", "1", "--schedulers", "fcfs",
+        ])
+        assert rc == 0
+        assert "[pcap]" in capsys.readouterr().out
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--schedulers", "bogus"])

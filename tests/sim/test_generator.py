@@ -1,0 +1,106 @@
+"""Tests for the Holt-Winters rate model and arrival generation."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.sim.generator import HoltWinters, HoltWintersParams, arrival_times
+
+
+class TestParams:
+    def test_defaults(self):
+        p = HoltWintersParams(a=1e6)
+        assert p.b == 0 and p.sigma == 0
+
+    @pytest.mark.parametrize("kw", [{"a": -1}, {"a": 1, "m": 0}, {"a": 1, "sigma": -1}])
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigError):
+            HoltWintersParams(**kw)
+
+    def test_scaled(self):
+        p = HoltWintersParams(a=10, b=2, c=3, m=7, sigma=1).scaled(2.0)
+        assert (p.a, p.b, p.c, p.m, p.sigma) == (20, 4, 6, 7, 2)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ConfigError):
+            HoltWintersParams(a=1).scaled(0)
+
+
+class TestRateModel:
+    def test_constant(self):
+        hw = HoltWinters(HoltWintersParams(a=100.0))
+        assert hw.mean_rate(0) == 100.0
+        assert hw.mean_rate(10) == 100.0
+
+    def test_trend(self):
+        hw = HoltWinters(HoltWintersParams(a=100.0, b=10.0))
+        assert hw.mean_rate(5) == pytest.approx(150.0)
+
+    def test_seasonality_period(self):
+        hw = HoltWinters(HoltWintersParams(a=100.0, c=50.0, m=4.0))
+        assert hw.mean_rate(1.0) == pytest.approx(150.0)  # sin peak at m/4
+        assert hw.mean_rate(3.0) == pytest.approx(50.0)   # trough
+        assert hw.mean_rate(0.0) == pytest.approx(hw.mean_rate(4.0))
+
+    def test_floor_clamps_negative(self):
+        hw = HoltWinters(HoltWintersParams(a=100.0, c=1000.0, m=4.0))
+        assert hw.mean_rate(3.0) == pytest.approx(100.0 * HoltWinters.FLOOR_FRACTION)
+
+    def test_batch_matches_scalar(self):
+        hw = HoltWinters(HoltWintersParams(a=10.0, b=1.0, c=3.0, m=2.0))
+        ts = np.linspace(0, 5, 17)
+        batch = hw.mean_rate_batch(ts)
+        for t, r in zip(ts, batch):
+            assert r == pytest.approx(hw.mean_rate(float(t)))
+
+    def test_noise_sampled(self, rng):
+        hw = HoltWinters(HoltWintersParams(a=100.0, sigma=10.0))
+        rates = hw.sample_rates(np.zeros(1000), rng)
+        assert rates.std() == pytest.approx(10.0, rel=0.2)
+
+    def test_average_rate(self):
+        hw = HoltWinters(HoltWintersParams(a=100.0, c=50.0, m=1.0))
+        # sinusoid integrates to ~0 over whole periods
+        assert hw.average_rate(4.0) == pytest.approx(100.0, rel=0.02)
+
+    def test_average_rate_invalid_duration(self):
+        with pytest.raises(ConfigError):
+            HoltWinters(HoltWintersParams(a=1)).average_rate(0)
+
+
+class TestArrivalTimes:
+    def test_count_matches_rate(self, rng):
+        hw = HoltWinters(HoltWintersParams(a=1e6))
+        times = arrival_times(hw, units.ms(10), rng)
+        assert times.shape[0] == pytest.approx(10_000, rel=0.1)
+
+    def test_sorted_and_bounded(self, rng):
+        hw = HoltWinters(HoltWintersParams(a=5e5, c=2e5, m=0.002))
+        times = arrival_times(hw, units.ms(5), rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0
+        assert times.max() < units.ms(5)
+
+    def test_deterministic_with_seed(self):
+        hw = HoltWinters(HoltWintersParams(a=1e5))
+        a = arrival_times(hw, units.ms(5), 9)
+        b = arrival_times(hw, units.ms(5), 9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seasonal_density_varies(self, rng):
+        hw = HoltWinters(HoltWintersParams(a=1e6, c=9e5, m=0.01))
+        times = arrival_times(hw, units.ms(10), rng)
+        # first half-period (peak) busier than second (trough)
+        peak = np.sum(times < units.ms(5))
+        trough = np.sum(times >= units.ms(5))
+        assert peak > trough * 1.5
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigError):
+            arrival_times(HoltWinters(HoltWintersParams(a=1e5)), 0)
+
+    def test_zero_rate_floor_yields_few(self, rng):
+        hw = HoltWinters(HoltWintersParams(a=1.0))
+        times = arrival_times(hw, units.ms(1), rng)
+        assert times.shape[0] <= 2

@@ -1,0 +1,87 @@
+"""Tests for metrics accumulation and the report object."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import SimMetrics, SimReport
+
+
+def finalize(metrics, **kw):
+    defaults = dict(
+        duration_ns=1_000_000,
+        out_of_order=0,
+        scheduler_name="test",
+        scheduler_stats={},
+        migrated_flows=0,
+    )
+    defaults.update(kw)
+    return metrics.finalize(**defaults)
+
+
+class TestFinalize:
+    def test_utilization_from_busy_time(self):
+        m = SimMetrics(1, 2)
+        m.busy_ns_per_core[0] = 500_000
+        m.busy_ns_per_core[1] = 1_000_000
+        rep = finalize(m)
+        assert rep.core_utilization == (0.5, 1.0)
+
+    def test_latency_summary(self):
+        m = SimMetrics(1, 1)
+        m.latencies_ns.extend([100, 200, 300])
+        rep = finalize(m)
+        assert rep.latency_ns["mean"] == pytest.approx(200)
+
+    def test_no_latencies_zeroed(self):
+        rep = finalize(SimMetrics(1, 1))
+        assert rep.latency_ns["p99"] == 0.0
+
+
+class TestReportDerived:
+    def make(self, **kw):
+        defaults = dict(
+            scheduler="x", duration_ns=int(1e9), generated=1000, dropped=100,
+            departed=900, out_of_order=45, cold_cache_events=90,
+            flow_migration_events=9, migrated_flows=3,
+            generated_per_service=(1000,), dropped_per_service=(100,),
+            core_utilization=(0.5, 0.5),
+        )
+        defaults.update(kw)
+        return SimReport(**defaults)
+
+    def test_fractions(self):
+        rep = self.make()
+        assert rep.drop_fraction == pytest.approx(0.1)
+        assert rep.ooo_fraction == pytest.approx(0.05)
+        assert rep.cold_cache_fraction == pytest.approx(0.1)
+        assert rep.migration_fraction == pytest.approx(0.01)
+
+    def test_zero_denominators(self):
+        rep = self.make(generated=0, departed=0)
+        assert rep.drop_fraction == 0.0
+        assert rep.ooo_fraction == 0.0
+
+    def test_throughput(self):
+        rep = self.make()
+        assert rep.throughput_pps == pytest.approx(900.0)
+
+    def test_fairness(self):
+        assert self.make().load_fairness == pytest.approx(1.0)
+
+    def test_as_row_keys(self):
+        row = self.make().as_row()
+        assert row["scheduler"] == "x"
+        assert "drop_frac" in row and "ooo_frac" in row
+
+    def test_relative_to(self):
+        base = self.make()
+        other = self.make(dropped=50, out_of_order=9)
+        rel = other.relative_to(base)
+        assert rel["dropped"] == pytest.approx(0.5)
+        assert rel["out_of_order"] == pytest.approx(0.2)
+
+    def test_relative_to_zero_baseline_nan(self):
+        base = self.make(out_of_order=0)
+        rel = self.make().relative_to(base)
+        assert math.isnan(rel["out_of_order"])

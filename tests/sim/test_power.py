@@ -1,0 +1,70 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.sim.metrics import SimReport
+from repro.sim.power import PowerModel
+
+
+def report(utils, duration_ns=1_000_000_000):
+    return SimReport(
+        scheduler="x", duration_ns=duration_ns, generated=0, dropped=0,
+        departed=0, out_of_order=0, cold_cache_events=0,
+        flow_migration_events=0, migrated_flows=0,
+        generated_per_service=(0,), dropped_per_service=(0,),
+        core_utilization=tuple(utils),
+    )
+
+
+class TestModel:
+    def test_fully_busy_core(self):
+        pr = PowerModel(active_w=1.0, idle_w=0.4, sleep_w=0.0).evaluate(
+            report([1.0])
+        )
+        assert pr.total_j == pytest.approx(1.0)
+        assert pr.savings_fraction == 0.0
+
+    def test_idle_core_no_gating(self):
+        pr = PowerModel(active_w=1.0, idle_w=0.4, sleep_w=0.0).evaluate(
+            report([0.0])
+        )
+        assert pr.total_j == pytest.approx(0.4)
+
+    def test_idle_core_full_gating(self):
+        pr = PowerModel(active_w=1.0, idle_w=0.4, sleep_w=0.1).evaluate(
+            report([0.0]), gating_fraction=1.0
+        )
+        assert pr.total_j == pytest.approx(0.1)
+        assert pr.savings_fraction == pytest.approx(1 - 0.1 / 0.4)
+
+    def test_mixed_utilisation(self):
+        pr = PowerModel(active_w=1.0, idle_w=0.5, sleep_w=0.0).evaluate(
+            report([0.5]), gating_fraction=0.5
+        )
+        # 0.5 s active (0.5 J) + 0.25 s idle (0.125 J) + 0.25 s sleep (0)
+        assert pr.total_j == pytest.approx(0.625)
+
+    def test_gating_never_increases_energy(self):
+        model = PowerModel()
+        base = model.evaluate(report([0.3, 0.7, 0.1]))
+        gated = model.evaluate(report([0.3, 0.7, 0.1]), gating_fraction=0.8)
+        assert gated.total_j <= base.total_j
+        assert base.total_j == pytest.approx(base.baseline_j)
+
+    def test_utilisation_clamped(self):
+        pr = PowerModel(active_w=1.0, idle_w=0.0, sleep_w=0.0).evaluate(
+            report([1.1])
+        )
+        assert pr.total_j == pytest.approx(1.0)
+
+    def test_invalid_state_ordering(self):
+        with pytest.raises(ValueError):
+            PowerModel(active_w=0.1, idle_w=0.5, sleep_w=0.0)
+
+    def test_invalid_gating_fraction(self):
+        with pytest.raises(ValueError):
+            PowerModel().evaluate(report([0.5]), gating_fraction=1.5)
+
+    def test_components_sum(self):
+        pr = PowerModel().evaluate(report([0.4, 0.9]), gating_fraction=0.3)
+        assert pr.total_j == pytest.approx(pr.active_j + pr.idle_j + pr.sleep_j)

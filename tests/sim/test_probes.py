@@ -1,0 +1,81 @@
+"""Tests for the queue probe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.probes import QueueProbe
+
+
+class FakeQueues:
+    def __init__(self, occ):
+        self._occ = occ
+
+    def occupancies(self):
+        return list(self._occ)
+
+
+class FakeMetrics:
+    def __init__(self):
+        self.dropped = 0
+        self.departed = 0
+
+
+class TestProbe:
+    def test_invalid_period(self):
+        with pytest.raises(ConfigError):
+            QueueProbe(0)
+
+    def test_samples_each_period(self):
+        probe = QueueProbe(100)
+        q, m = FakeQueues([1, 2]), FakeMetrics()
+        probe.maybe_sample(250, q, m)
+        assert probe.times_ns == [0, 100, 200]
+
+    def test_no_duplicate_samples(self):
+        probe = QueueProbe(100)
+        q, m = FakeQueues([0]), FakeMetrics()
+        probe.maybe_sample(150, q, m)
+        probe.maybe_sample(160, q, m)
+        assert probe.num_samples == 2
+
+    def test_occupancy_matrix(self):
+        probe = QueueProbe(10)
+        probe.maybe_sample(0, FakeQueues([3, 7]), FakeMetrics())
+        mat = probe.occupancy_matrix()
+        assert mat.shape == (1, 2)
+        np.testing.assert_array_equal(mat[0], [3, 7])
+
+    def test_empty_matrix(self):
+        assert QueueProbe(10).occupancy_matrix().shape == (0, 0)
+
+    def test_drop_rate_series(self):
+        probe = QueueProbe(10)
+        m = FakeMetrics()
+        probe.maybe_sample(0, FakeQueues([0]), m)
+        m.dropped = 5
+        probe.maybe_sample(10, FakeQueues([0]), m)
+        m.dropped = 7
+        probe.maybe_sample(20, FakeQueues([0]), m)
+        np.testing.assert_array_equal(probe.drop_rate_series(), [0, 5, 2])
+
+    def test_imbalance_series(self):
+        probe = QueueProbe(10)
+        probe.maybe_sample(0, FakeQueues([1, 9]), FakeMetrics())
+        np.testing.assert_array_equal(probe.imbalance_series(), [8])
+
+
+class TestEndToEnd:
+    def test_probe_in_simulation(self, small_workload, small_config):
+        from repro import units
+        from repro.schedulers.fcfs import FCFSScheduler
+        from repro.sim.system import simulate
+
+        probe = QueueProbe(units.us(100))
+        rep = simulate(small_workload, FCFSScheduler(), small_config, probe=probe)
+        assert probe.num_samples > 5
+        assert probe.occupancy_matrix().shape[1] == small_config.num_cores
+        # cumulative counters are non-decreasing
+        assert all(np.diff(probe.dropped) >= 0)
+        assert all(np.diff(probe.departed) >= 0)
+        assert probe.dropped[-1] <= rep.dropped

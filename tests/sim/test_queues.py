@@ -1,0 +1,79 @@
+"""Tests for bounded queues and the queue bank."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.queues import BoundedQueue, QueueBank
+
+
+class TestBoundedQueue:
+    def test_fifo(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            assert q.offer(i)
+        assert [q.take() for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_enforced(self):
+        q = BoundedQueue(2)
+        assert q.offer(1) and q.offer(2)
+        assert not q.offer(3)
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_full_empty_flags(self):
+        q = BoundedQueue(1)
+        assert q.is_empty and not q.is_full
+        q.offer(1)
+        assert q.is_full and not q.is_empty
+
+    def test_peak_tracking(self):
+        q = BoundedQueue(8)
+        for i in range(5):
+            q.offer(i)
+        q.take()
+        q.take()
+        assert q.peak == 5
+
+    def test_take_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedQueue(1).take()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            BoundedQueue(0)
+
+    def test_clear(self):
+        q = BoundedQueue(4)
+        q.offer(1)
+        q.clear()
+        assert q.is_empty
+
+
+class TestQueueBank:
+    def test_loadview_protocol(self):
+        bank = QueueBank(4, 32)
+        assert bank.num_cores == 4
+        assert bank.queue_capacity == 32
+        assert bank.occupancy(0) == 0
+
+    def test_occupancy_tracks_queue(self):
+        bank = QueueBank(2, 8)
+        bank[1].offer(7)
+        assert bank.occupancy(1) == 1
+        assert bank.occupancies() == [0, 1]
+
+    def test_total_drops(self):
+        bank = QueueBank(2, 1)
+        bank[0].offer(1)
+        bank[0].offer(2)  # drop
+        bank[1].offer(3)
+        bank[1].offer(4)  # drop
+        assert bank.total_drops() == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            QueueBank(0, 32)
+
+    def test_iteration(self):
+        bank = QueueBank(3, 4)
+        assert len(list(bank)) == 3

@@ -1,0 +1,143 @@
+"""Tests for the reorder detector, incl. a brute-force property check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.reorder import ReorderDetector
+
+
+class TestInOrder:
+    def test_sequential_departures_in_order(self):
+        det = ReorderDetector()
+        for seq in range(5):
+            assert not det.on_depart(0, seq)
+        assert det.out_of_order == 0
+        assert det.departed == 5
+
+    def test_flows_independent(self):
+        det = ReorderDetector()
+        det.on_depart(0, 0)
+        det.on_depart(1, 0)
+        det.on_depart(0, 1)
+        det.on_depart(1, 1)
+        assert det.out_of_order == 0
+
+
+class TestOutOfOrder:
+    def test_swap_counts_once(self):
+        det = ReorderDetector()
+        assert det.on_depart(0, 1)       # early: seq 0 still inside
+        assert not det.on_depart(0, 0)   # the late one is not OOO itself
+        assert det.out_of_order == 1
+
+    def test_run_of_early_departures(self):
+        det = ReorderDetector()
+        for seq in (3, 2, 1):
+            assert det.on_depart(0, seq)
+        assert not det.on_depart(0, 0)
+        assert det.out_of_order == 3
+
+    def test_gap_then_catchup(self):
+        det = ReorderDetector()
+        det.on_depart(0, 0)
+        det.on_depart(0, 2)  # ooo
+        det.on_depart(0, 1)
+        assert not det.on_depart(0, 3)  # sequencing recovered
+        assert det.out_of_order == 1
+
+
+class TestDrops:
+    def test_drop_advances_sequence(self):
+        det = ReorderDetector()
+        det.on_drop(0, 0)
+        assert not det.on_depart(0, 1)
+        assert det.out_of_order == 0
+
+    def test_drop_never_counts_as_ooo(self):
+        det = ReorderDetector()
+        det.on_drop(0, 2)  # dropped ahead of 0,1
+        det.on_drop(0, 0)
+        det.on_drop(0, 1)
+        assert det.out_of_order == 0
+        assert det.departed == 0
+
+    def test_mixed_drop_and_depart(self):
+        det = ReorderDetector()
+        det.on_depart(0, 0)
+        det.on_drop(0, 1)
+        assert not det.on_depart(0, 2)
+
+
+class TestValidation:
+    def test_double_account_rejected(self):
+        det = ReorderDetector()
+        det.on_depart(0, 0)
+        with pytest.raises(ValueError):
+            det.on_depart(0, 0)
+
+    def test_double_account_pending_rejected(self):
+        det = ReorderDetector()
+        det.on_depart(0, 5)
+        with pytest.raises(ValueError):
+            det.on_depart(0, 5)
+
+    def test_ooo_fraction(self):
+        det = ReorderDetector()
+        det.on_depart(0, 1)
+        det.on_depart(0, 0)
+        assert det.ooo_fraction() == pytest.approx(0.5)
+
+    def test_ooo_fraction_empty(self):
+        assert ReorderDetector().ooo_fraction() == 0.0
+
+    def test_in_flight_gaps(self):
+        det = ReorderDetector()
+        det.on_depart(0, 2)
+        det.on_depart(0, 4)
+        assert det.in_flight_gaps == 2
+
+
+def brute_force_ooo(events):
+    """Reference: a departure of (flow, seq) is OOO iff some smaller seq
+    of the same flow has not yet departed or dropped."""
+    accounted = set()
+    max_seq = {}
+    ooo = 0
+    for kind, flow, seq in events:
+        earlier_missing = any(
+            (flow, s) not in accounted for s in range(seq)
+        )
+        accounted.add((flow, seq))
+        if kind == "depart" and earlier_missing:
+            ooo += 1
+        max_seq[flow] = max(max_seq.get(flow, -1), seq)
+    return ooo
+
+
+@st.composite
+def event_streams(draw):
+    """Per-flow permutations of 0..n-1 interleaved across flows."""
+    flows = draw(st.integers(1, 3))
+    events = []
+    for flow in range(flows):
+        n = draw(st.integers(0, 8))
+        order = draw(st.permutations(list(range(n))))
+        kinds = draw(
+            st.lists(st.sampled_from(["depart", "drop"]), min_size=n, max_size=n)
+        )
+        events.extend((k, flow, s) for k, s in zip(kinds, order))
+    return draw(st.permutations(events))
+
+
+class TestBruteForceEquivalence:
+    @given(event_streams())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference(self, events):
+        det = ReorderDetector()
+        for kind, flow, seq in events:
+            if kind == "depart":
+                det.on_depart(flow, seq)
+            else:
+                det.on_drop(flow, seq)
+        assert det.out_of_order == brute_force_ooo(events)

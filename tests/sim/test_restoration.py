@@ -1,0 +1,116 @@
+"""Tests for the order-restoration egress buffer."""
+
+import pytest
+
+from repro.sim.restoration import RestorationBuffer, restoration_cost
+
+
+def seqs(pairs):
+    """(flow, seq) pairs -> departure tuples with dummy times."""
+    return [(f, s, i) for i, (f, s) in enumerate(pairs)]
+
+
+class TestUnbounded:
+    def test_in_order_stream_costs_nothing(self):
+        res = restoration_cost(seqs([(0, 0), (0, 1), (0, 2)]))
+        assert res.max_occupancy == 0
+        assert res.residual_out_of_order == 0
+        assert res.released == 3
+
+    def test_single_swap_buffers_one(self):
+        res = restoration_cost(seqs([(0, 1), (0, 0)]))
+        assert res.max_occupancy == 1
+        assert res.residual_out_of_order == 0
+
+    def test_deep_inversion_costs_linear_storage(self):
+        n = 50
+        stream = seqs([(0, s) for s in reversed(range(n))])
+        res = restoration_cost(stream)
+        assert res.max_occupancy == n - 1
+        assert res.residual_out_of_order == 0
+
+    def test_flows_independent(self):
+        res = restoration_cost(seqs([(0, 1), (1, 0), (1, 1), (0, 0)]))
+        assert res.residual_out_of_order == 0
+        assert res.max_occupancy == 1
+
+    def test_missing_predecessor_flushed_unordered(self):
+        # seq 0 never departs (dropped); flush releases seq 1 without
+        # counting it as reordered
+        res = restoration_cost(seqs([(0, 1)]))
+        assert res.released == 1
+        assert res.residual_out_of_order == 0
+
+
+class TestBounded:
+    def test_overflow_releases_out_of_order(self):
+        stream = seqs([(0, s) for s in reversed(range(10))])
+        res = restoration_cost(stream, capacity=4)
+        assert res.overflow_releases > 0
+        assert res.residual_out_of_order > 0
+
+    def test_larger_buffer_less_residual(self):
+        stream = seqs([(0, s) for s in reversed(range(30))])
+        small = restoration_cost(stream, capacity=2)
+        big = restoration_cost(stream, capacity=16)
+        assert big.residual_out_of_order <= small.residual_out_of_order
+
+    def test_capacity_one_still_works(self):
+        stream = seqs([(0, 2), (0, 1), (0, 0)])
+        res = restoration_cost(stream, capacity=1)
+        assert res.released == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RestorationBuffer(0)
+
+    def test_late_packet_after_skip_is_residual(self):
+        buf = RestorationBuffer(1)
+        buf.push(0, 3)   # held
+        buf.push(0, 2)   # held -> overflow forces 3 out (skips to 4)
+        buf.push(0, 0)   # 0 < next(4): released, out of order
+        buf.flush()
+        res = buf.result()
+        assert res.residual_out_of_order >= 2
+
+
+class TestAccounting:
+    def test_everything_released(self):
+        import random
+
+        r = random.Random(0)
+        stream = []
+        for flow in range(3):
+            order = list(range(20))
+            r.shuffle(order)
+            stream.extend((flow, s) for s in order)
+        r.shuffle(stream)
+        res = restoration_cost(seqs(stream), capacity=8)
+        assert res.released == 60
+
+    def test_mean_occupancy_bounded_by_max(self):
+        stream = seqs([(0, s) for s in reversed(range(20))])
+        res = restoration_cost(stream)
+        assert res.mean_occupancy <= res.max_occupancy
+
+    def test_residual_fraction(self):
+        res = restoration_cost(seqs([(0, 0), (0, 1)]))
+        assert res.residual_fraction == 0.0
+
+
+class TestEndToEnd:
+    def test_with_simulator_departures(self, small_workload, single_service):
+        """Record a reordering run and measure the restoration cost."""
+        from repro.schedulers.fcfs import FCFSScheduler
+        from repro.sim.config import SimConfig
+        from repro.sim.system import simulate
+
+        cfg = SimConfig(num_cores=4, services=single_service,
+                        collect_latencies=False, record_departures=True)
+        rep = simulate(small_workload, FCFSScheduler(), cfg)
+        assert len(rep.departures) == rep.departed
+        res = restoration_cost(rep.departures)
+        # FCFS reorders heavily; full restoration needs real storage
+        if rep.out_of_order > 0:
+            assert res.max_occupancy > 0
+        assert res.released == rep.departed

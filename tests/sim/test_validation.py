@@ -1,0 +1,93 @@
+"""Analytic validation: the simulator vs exact M/D/1/K results."""
+
+import numpy as np
+import pytest
+
+from repro.net.service import Service, ServiceSet
+from repro.schedulers.hash_static import StaticHashScheduler
+from repro.sim.config import SimConfig
+from repro.sim.system import simulate
+from repro.sim.validation import md1k_loss_probability, md1k_metrics
+from repro.sim.workload import Workload, _per_flow_sequences
+
+
+def poisson_workload(rate_pps, n, seed=0, num_flows=1000):
+    rng = np.random.default_rng(seed)
+    arr = np.cumsum(rng.exponential(1e9 / rate_pps, n)).astype(np.int64)
+    flows = np.arange(n, dtype=np.int64) % num_flows
+    return Workload(
+        arrival_ns=arr,
+        service_id=np.zeros(n, np.int32),
+        flow_id=flows,
+        size_bytes=np.full(n, 64, np.int32),
+        flow_hash=np.zeros(n, np.int64),
+        seq=_per_flow_sequences(flows, num_flows),
+        num_flows=num_flows,
+        num_services=1,
+        duration_ns=int(arr[-1]) + 1,
+    )
+
+
+class TestAnalyticFormula:
+    def test_light_load_lossless(self):
+        assert md1k_loss_probability(0.3, 33) < 1e-9
+
+    def test_heavy_load_loses_excess(self):
+        # at rho >> 1 the loss must approach 1 - 1/rho
+        assert md1k_loss_probability(2.0, 33) == pytest.approx(0.5, abs=0.01)
+
+    def test_monotone_in_rho(self):
+        losses = [md1k_loss_probability(r, 9) for r in (0.5, 0.9, 1.1, 1.5)]
+        assert losses == sorted(losses)
+
+    def test_monotone_in_buffer(self):
+        losses = [md1k_loss_probability(1.05, k) for k in (2, 9, 33, 65)]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_single_slot_system(self):
+        # M/G/1/1: P_loss = rho / (1 + rho)
+        assert md1k_loss_probability(1.0, 1) == pytest.approx(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            md1k_loss_probability(0.0, 4)
+        with pytest.raises(ValueError):
+            md1k_loss_probability(1.0, 0)
+
+    def test_metrics_wrapper(self):
+        m = md1k_metrics(2.1e6, 500, 32)
+        assert m["rho"] == pytest.approx(1.05)
+        assert 0 < m["loss_probability"] < 0.1
+        assert m["throughput_pps"] < 2.1e6
+
+
+class TestSimulatorMatchesTheory:
+    """The DES core is an M/D/1/K when fed Poisson + fixed service."""
+
+    @pytest.mark.parametrize(
+        "utilisation,queue_capacity,atol",
+        [(0.95, 32, 0.004), (1.05, 32, 0.008), (1.2, 8, 0.01)],
+    )
+    def test_loss_probability(self, utilisation, queue_capacity, atol):
+        service_ns = 500
+        rate = utilisation * 1e9 / service_ns
+        wl = poisson_workload(rate, 200_000, seed=1)
+        svc = ServiceSet([Service(0, "s", service_ns)])
+        cfg = SimConfig(
+            num_cores=1, queue_capacity=queue_capacity, services=svc,
+            fm_penalty_ns=0, cc_penalty_ns=0, collect_latencies=False,
+        )
+        rep = simulate(wl, StaticHashScheduler(), cfg)
+        expected = md1k_metrics(rate, service_ns, queue_capacity)
+        assert rep.drop_fraction == pytest.approx(
+            expected["loss_probability"], abs=atol
+        )
+
+    def test_underload_lossless(self):
+        wl = poisson_workload(0.7 * 2e6, 50_000, seed=2)
+        svc = ServiceSet([Service(0, "s", 500)])
+        cfg = SimConfig(num_cores=1, queue_capacity=32, services=svc,
+                        fm_penalty_ns=0, cc_penalty_ns=0,
+                        collect_latencies=False)
+        rep = simulate(wl, StaticHashScheduler(), cfg)
+        assert rep.dropped == 0

@@ -1,0 +1,137 @@
+"""Tests for workload assembly."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.hashing.five_tuple import flow_hash
+from repro.sim.generator import HoltWintersParams
+from repro.sim.workload import Workload, _per_flow_sequences, build_workload
+
+
+class TestPerFlowSequences:
+    def test_simple(self):
+        flow = np.array([0, 1, 0, 0, 1])
+        seq = _per_flow_sequences(flow, 2)
+        np.testing.assert_array_equal(seq, [0, 0, 1, 2, 1])
+
+    def test_empty(self):
+        assert _per_flow_sequences(np.empty(0, dtype=np.int64), 5).shape == (0,)
+
+    def test_matches_reference(self, rng):
+        flow = rng.integers(0, 20, size=500)
+        seq = _per_flow_sequences(flow, 20)
+        seen = {}
+        for i, f in enumerate(flow):
+            assert seq[i] == seen.get(int(f), 0)
+            seen[int(f)] = seen.get(int(f), 0) + 1
+
+
+class TestBuildWorkload:
+    def test_basic_structure(self, small_synthetic):
+        wl = build_workload(
+            [small_synthetic], [HoltWintersParams(a=1e6)], units.ms(2), seed=0
+        )
+        assert wl.num_services == 1
+        assert wl.num_flows == small_synthetic.num_flows
+        assert np.all(np.diff(wl.arrival_ns) >= 0)
+        assert wl.num_packets == len(wl)
+
+    def test_multi_service_flow_rebasing(self, small_synthetic, tiny_trace):
+        wl = build_workload(
+            [tiny_trace, small_synthetic],
+            [HoltWintersParams(a=1e6), HoltWintersParams(a=1e6)],
+            units.ms(1),
+            seed=0,
+        )
+        assert wl.num_flows == tiny_trace.num_flows + small_synthetic.num_flows
+        flows_s1 = wl.flow_id[wl.service_id == 1]
+        assert flows_s1.min() >= tiny_trace.num_flows
+
+    def test_headers_follow_trace_order(self, tiny_trace):
+        wl = build_workload(
+            [tiny_trace], [HoltWintersParams(a=5e6)], units.ms(1), seed=1
+        )
+        n = tiny_trace.num_packets
+        np.testing.assert_array_equal(
+            wl.flow_id[:n], tiny_trace.flow_id
+        )  # wraps around cyclically
+        np.testing.assert_array_equal(
+            wl.flow_id[n : 2 * n], tiny_trace.flow_id
+        )
+
+    def test_hashes_match_scalar(self, tiny_trace):
+        wl = build_workload(
+            [tiny_trace], [HoltWintersParams(a=5e6)], units.ms(1), seed=1
+        )
+        for i in range(min(20, wl.num_packets)):
+            expected = flow_hash(tiny_trace.five_tuple(int(wl.flow_id[i])))
+            assert int(wl.flow_hash[i]) == expected
+
+    def test_sequences_valid(self, small_synthetic):
+        wl = build_workload(
+            [small_synthetic], [HoltWintersParams(a=2e6)], units.ms(2), seed=0
+        )
+        counts = np.bincount(wl.flow_id, minlength=wl.num_flows)
+        for fid in np.nonzero(counts)[0][:50]:
+            seqs = wl.seq[wl.flow_id == fid]
+            np.testing.assert_array_equal(seqs, np.arange(counts[fid]))
+
+    def test_deterministic(self, small_synthetic):
+        a = build_workload([small_synthetic], [HoltWintersParams(a=1e6)], units.ms(1), seed=5)
+        b = build_workload([small_synthetic], [HoltWintersParams(a=1e6)], units.ms(1), seed=5)
+        np.testing.assert_array_equal(a.arrival_ns, b.arrival_ns)
+        np.testing.assert_array_equal(a.flow_id, b.flow_id)
+
+    def test_offered_rate(self, small_synthetic):
+        wl = build_workload(
+            [small_synthetic], [HoltWintersParams(a=1e6)], units.ms(10), seed=0
+        )
+        assert wl.offered_rate_pps() == pytest.approx(1e6, rel=0.1)
+
+    def test_validation_errors(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            build_workload([], [], units.ms(1))
+        with pytest.raises(ConfigError):
+            build_workload([tiny_trace], [], units.ms(1))
+        with pytest.raises(ConfigError):
+            build_workload([tiny_trace], [HoltWintersParams(a=1e6)], 0)
+
+    def test_empty_trace_rejected(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            build_workload(
+                [tiny_trace.head(0)], [HoltWintersParams(a=1e6)], units.ms(1)
+            )
+
+
+class TestWorkloadValidation:
+    def test_unsorted_rejected(self, small_workload):
+        with pytest.raises(ConfigError):
+            Workload(
+                arrival_ns=small_workload.arrival_ns[::-1].copy(),
+                service_id=small_workload.service_id,
+                flow_id=small_workload.flow_id,
+                size_bytes=small_workload.size_bytes,
+                flow_hash=small_workload.flow_hash,
+                seq=small_workload.seq,
+                num_flows=small_workload.num_flows,
+                num_services=1,
+                duration_ns=small_workload.duration_ns,
+            )
+
+    def test_flow_out_of_range_rejected(self, small_workload):
+        bad = small_workload.flow_id.copy()
+        bad[0] = small_workload.num_flows + 10
+        with pytest.raises(ConfigError):
+            Workload(
+                arrival_ns=small_workload.arrival_ns,
+                service_id=small_workload.service_id,
+                flow_id=bad,
+                size_bytes=small_workload.size_bytes,
+                flow_hash=small_workload.flow_hash,
+                seq=small_workload.seq,
+                num_flows=small_workload.num_flows,
+                num_services=1,
+                duration_ns=small_workload.duration_ns,
+            )

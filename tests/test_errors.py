@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.TraceError,
+            errors.TraceFormatError,
+            errors.SimulationError,
+            errors.SchedulerError,
+            errors.CapacityError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(errors.ConfigError, ValueError)
+
+    def test_trace_format_error_is_trace_error(self):
+        assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SchedulerError("boom")

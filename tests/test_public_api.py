@@ -1,0 +1,43 @@
+"""The README quickstart and public API surface must keep working."""
+
+import repro
+from repro import units
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestQuickstart:
+    def test_readme_flow(self):
+        """The exact flow shown in the package docstring / README."""
+        trace = repro.preset_trace("caida-1", num_packets=5_000)
+        wl = repro.build_workload(
+            [trace],
+            [repro.HoltWintersParams(a=1e6)],
+            duration_ns=units.ms(4),
+        )
+        report = repro.simulate(
+            wl,
+            repro.make_scheduler("laps", config=repro.LAPSConfig(num_services=1)),
+            repro.SimConfig(num_cores=8),
+        )
+        row = report.as_row()
+        assert row["scheduler"] == "laps"
+        assert report.generated == wl.num_packets
+
+    def test_detector_standalone(self):
+        trace = repro.preset_trace("auck-1", num_packets=5_000)
+        afd = repro.AggressiveFlowDetector(repro.AFDConfig(annex_entries=128))
+        for fid in trace.flow_id:
+            afd.observe(int(fid))
+        truth = set(repro.top_k_flows(trace, 16, by="bytes"))
+        assert afd.accuracy(truth) >= 0.5
+
+    def test_timing_model(self):
+        assert repro.LAPSTimingModel().max_rate_mpps >= 200

@@ -1,0 +1,73 @@
+"""Tests for repro.units (time/rate conversions)."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_hierarchy(self):
+        assert units.NS == 1
+        assert units.US == 1_000
+        assert units.MS == 1_000_000
+        assert units.SEC == 1_000_000_000
+
+    def test_constants_consistent(self):
+        assert units.MS == 1000 * units.US
+        assert units.SEC == 1000 * units.MS
+
+
+class TestConversions:
+    def test_us(self):
+        assert units.us(1) == 1_000
+        assert units.us(0.5) == 500
+        assert units.us(3.53) == 3530
+
+    def test_ms(self):
+        assert units.ms(2) == 2_000_000
+
+    def test_seconds(self):
+        assert units.seconds(1.5) == 1_500_000_000
+
+    def test_ns_rounds(self):
+        assert units.ns(1.4) == 1
+        assert units.ns(1.6) == 2
+
+    def test_roundtrip_to_seconds(self):
+        assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+
+    def test_roundtrip_to_us(self):
+        assert units.to_us(units.us(0.8)) == pytest.approx(0.8)
+
+    def test_results_are_ints(self):
+        for f in (units.ns, units.us, units.ms, units.seconds):
+            assert isinstance(f(1.234), int)
+
+
+class TestRates:
+    def test_mpps(self):
+        assert units.mpps(1.5) == 1_500_000
+
+    def test_kpps(self):
+        assert units.kpps(2) == 2_000
+
+    def test_interarrival(self):
+        assert units.pps_to_interarrival_ns(1e6) == pytest.approx(1000.0)
+
+    def test_interarrival_roundtrip(self):
+        rate = 3.7e6
+        assert units.interarrival_ns_to_pps(
+            units.pps_to_interarrival_ns(rate)
+        ) == pytest.approx(rate)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.pps_to_interarrival_ns(0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.pps_to_interarrival_ns(-1)
+
+    def test_zero_gap_rejected(self):
+        with pytest.raises(ValueError):
+            units.interarrival_ns_to_pps(0)

@@ -1,0 +1,123 @@
+"""Tests for offline trace analysis (AFD ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import (
+    concentration,
+    flow_sizes,
+    rank_size,
+    top_k_flows,
+    windowed_top_k,
+)
+
+
+class TestFlowSizes:
+    def test_by_bytes(self, tiny_trace):
+        sizes = flow_sizes(tiny_trace, by="bytes")
+        np.testing.assert_array_equal(sizes, [1700, 400, 64])
+
+    def test_by_packets(self, tiny_trace):
+        sizes = flow_sizes(tiny_trace, by="packets")
+        np.testing.assert_array_equal(sizes, [3, 2, 1])
+
+    def test_invalid_metric_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            flow_sizes(tiny_trace, by="nonsense")
+
+    def test_silent_flows_zero(self, tiny_trace):
+        head = tiny_trace.head(1)
+        sizes = flow_sizes(head)
+        assert sizes[1] == 0 and sizes[2] == 0
+
+
+class TestRankSize:
+    def test_sorted_descending(self, small_synthetic):
+        curve = rank_size(small_synthetic)
+        assert np.all(np.diff(curve.sizes.astype(np.int64)) <= 0)
+
+    def test_drop_zero(self, tiny_trace):
+        curve = rank_size(tiny_trace.head(1))
+        assert curve.num_flows == 1
+
+    def test_keep_zero(self, tiny_trace):
+        curve = rank_size(tiny_trace.head(1), drop_zero=False)
+        assert curve.num_flows == 3
+
+    def test_share_of_top(self, tiny_trace):
+        curve = rank_size(tiny_trace, by="bytes")
+        assert curve.share_of_top(1) == pytest.approx(1700 / 2164)
+        assert curve.share_of_top(3) == pytest.approx(1.0)
+
+    def test_share_of_top_empty(self, tiny_trace):
+        curve = rank_size(tiny_trace.head(0))
+        assert curve.share_of_top(5) == 0.0
+
+
+class TestTopK:
+    def test_tiny(self, tiny_trace):
+        assert top_k_flows(tiny_trace, 2, by="bytes") == [0, 1]
+
+    def test_k_larger_than_active(self, tiny_trace):
+        assert top_k_flows(tiny_trace, 10) == [0, 1, 2]
+
+    def test_k_zero(self, tiny_trace):
+        assert top_k_flows(tiny_trace, 0) == []
+
+    def test_negative_k_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            top_k_flows(tiny_trace, -1)
+
+    def test_ties_broken_by_lower_id(self, tiny_trace):
+        # flows 0,1,2 each appear; give packets metric where 1 and 2 tie
+        ids = top_k_flows(tiny_trace.head(4), 3, by="packets")
+        # head(4): flow0 x2, flow1 x1, flow2 x1 -> tie between 1 and 2
+        assert ids == [0, 1, 2]
+
+    def test_matches_numpy_reference(self, small_synthetic):
+        sizes = flow_sizes(small_synthetic, by="bytes")
+        expected = sorted(range(len(sizes)), key=lambda i: (-sizes[i], i))[:16]
+        assert top_k_flows(small_synthetic, 16, by="bytes") == expected
+
+
+class TestWindowedTopK:
+    def test_window_boundaries(self, small_synthetic):
+        out = windowed_top_k(small_synthetic, 4, window=1000)
+        assert out[0][0] == 1000
+        assert out[-1][0] == small_synthetic.num_packets
+
+    def test_each_window_top_is_correct(self, small_synthetic):
+        out = windowed_top_k(small_synthetic, 4, window=2500, by="packets")
+        end, ids = out[0]
+        counts = np.bincount(
+            small_synthetic.flow_id[:end], minlength=small_synthetic.num_flows
+        )
+        expected = sorted(range(len(counts)), key=lambda i: (-counts[i], i))[:4]
+        assert ids == expected
+
+    def test_bad_window_rejected(self, small_synthetic):
+        with pytest.raises(ValueError):
+            windowed_top_k(small_synthetic, 4, window=0)
+
+
+class TestConcentration:
+    def test_keys(self, small_synthetic):
+        stats = concentration(small_synthetic)
+        assert set(stats) == {
+            "active_flows", "gini", "top1_share",
+            "top10_share", "top16_share", "top100_share",
+        }
+
+    def test_monotone_shares(self, small_synthetic):
+        stats = concentration(small_synthetic)
+        assert stats["top1_share"] <= stats["top10_share"] <= stats["top16_share"]
+
+    def test_empty_trace(self, tiny_trace):
+        stats = concentration(tiny_trace.head(0))
+        assert stats["active_flows"] == 0.0
+
+    def test_presets_are_heavy_tailed(self, small_synthetic):
+        """The motivation of the paper: a few flows carry a lot."""
+        stats = concentration(small_synthetic, by="packets")
+        assert stats["top16_share"] > 0.3
+        assert stats["gini"] > 0.5

@@ -1,0 +1,61 @@
+"""Tests for native-gap trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.replay import native_workload
+
+
+class TestNativeWorkload:
+    def test_times_follow_gaps(self, tiny_trace):
+        wl = native_workload([tiny_trace])
+        np.testing.assert_array_equal(
+            wl.arrival_ns, np.cumsum(tiny_trace.gap_ns)
+        )
+
+    def test_headers_preserved(self, tiny_trace):
+        wl = native_workload([tiny_trace])
+        np.testing.assert_array_equal(wl.flow_id, tiny_trace.flow_id)
+        np.testing.assert_array_equal(wl.size_bytes, tiny_trace.size_bytes)
+
+    def test_speedup_compresses_time(self, tiny_trace):
+        base = native_workload([tiny_trace])
+        fast = native_workload([tiny_trace], speedup=2.0)
+        np.testing.assert_array_equal(fast.arrival_ns, base.arrival_ns // 2)
+
+    def test_multi_trace_interleaves(self, tiny_trace, small_synthetic):
+        wl = native_workload([tiny_trace, small_synthetic])
+        assert wl.num_services == 2
+        assert wl.num_flows == tiny_trace.num_flows + small_synthetic.num_flows
+        assert np.all(np.diff(wl.arrival_ns) >= 0)
+
+    def test_sequences_per_flow(self, tiny_trace):
+        wl = native_workload([tiny_trace])
+        # flow 0 appears at positions 0, 2, 4 of the tiny trace
+        seqs = wl.seq[wl.flow_id == 0]
+        np.testing.assert_array_equal(seqs, [0, 1, 2])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigError):
+            native_workload([])
+
+    def test_empty_trace_rejected(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            native_workload([tiny_trace.head(0)])
+
+    def test_bad_speedup_rejected(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            native_workload([tiny_trace], speedup=0)
+
+    def test_simulates(self, tiny_trace, single_service):
+        from repro.schedulers.hash_static import StaticHashScheduler
+        from repro.sim.config import SimConfig
+        from repro.sim.system import simulate
+
+        wl = native_workload([tiny_trace])
+        rep = simulate(
+            wl, StaticHashScheduler(),
+            SimConfig(num_cores=2, services=single_service),
+        )
+        assert rep.departed == tiny_trace.num_packets

@@ -1,0 +1,186 @@
+"""Tests for synthetic trace generation (incl. churn and turnover)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.analysis import flow_sizes
+from repro.trace.synthetic import (
+    PRESETS,
+    SyntheticTraceConfig,
+    generate_trace,
+    preset_trace,
+)
+
+
+def cfg(**kw):
+    defaults = dict(num_packets=3000, num_flows=300, num_elephants=6,
+                    elephant_share=0.5, seed=11)
+    defaults.update(kw)
+    return SyntheticTraceConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_negative_packets_rejected(self):
+        with pytest.raises(ConfigError):
+            cfg(num_packets=-1)
+
+    def test_zero_flows_rejected(self):
+        with pytest.raises(ConfigError):
+            cfg(num_flows=0)
+
+    def test_burst_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            cfg(burst_mean=0.5)
+
+    def test_epochs_require_elephant_model(self):
+        with pytest.raises(ConfigError):
+            cfg(num_elephants=None, mice_epochs=4)
+
+    def test_turnover_requires_elephant_model(self):
+        with pytest.raises(ConfigError):
+            cfg(num_elephants=None, elephant_turnover=0.5)
+
+    def test_turnover_bounds(self):
+        with pytest.raises(ConfigError):
+            cfg(elephant_turnover=1.5)
+
+    def test_elephant_sizes_need_model(self):
+        with pytest.raises(ConfigError):
+            cfg(num_elephants=None, elephant_sizes=(64,))
+
+    def test_rate_weights_shapes(self):
+        assert cfg().rate_weights().shape == (300,)
+        assert cfg(num_elephants=None).rate_weights().shape == (300,)
+        assert cfg(num_elephants=None, weight_cap=0.05).rate_weights().max() <= 0.05
+
+
+class TestGeneration:
+    def test_length(self):
+        trace = generate_trace(cfg())
+        assert trace.num_packets == 3000
+
+    def test_deterministic(self):
+        a = generate_trace(cfg())
+        b = generate_trace(cfg())
+        np.testing.assert_array_equal(a.flow_id, b.flow_id)
+        np.testing.assert_array_equal(a.size_bytes, b.size_bytes)
+        np.testing.assert_array_equal(a.gap_ns, b.gap_ns)
+
+    def test_seed_changes_output(self):
+        a = generate_trace(cfg())
+        b = generate_trace(cfg(seed=12))
+        assert not np.array_equal(a.flow_id, b.flow_id)
+
+    def test_empty_trace(self):
+        trace = generate_trace(cfg(num_packets=0))
+        assert trace.num_packets == 0
+        assert trace.num_flows == 300
+
+    def test_elephants_dominate(self):
+        trace = generate_trace(cfg())
+        sizes = flow_sizes(trace, by="packets")
+        elephant_share = sizes[:6].sum() / sizes.sum()
+        assert elephant_share == pytest.approx(0.5, abs=0.08)
+
+    def test_iid_mode(self):
+        trace = generate_trace(cfg(burst_mean=1.0))
+        assert trace.num_packets == 3000
+
+    def test_bursts_create_runs(self):
+        bursty = generate_trace(cfg(burst_mean=8.0))
+        iid = generate_trace(cfg(burst_mean=1.0))
+        def run_fraction(t):
+            return float((np.diff(t.flow_id) == 0).mean())
+        assert run_fraction(bursty) > run_fraction(iid) + 0.2
+
+    def test_mean_rate_respected(self):
+        trace = generate_trace(cfg(num_packets=20_000, mean_rate_pps=1e6))
+        mean_gap = trace.gap_ns.mean()
+        assert mean_gap == pytest.approx(1000.0, rel=0.05)
+
+
+class TestChurn:
+    def test_mice_epochs_stripe_population(self):
+        trace = generate_trace(cfg(num_packets=10_000, mice_epochs=4))
+        n = trace.num_packets
+        # mice ids in the first quarter differ from the second quarter
+        q1 = set(trace.flow_id[: n // 4]) - set(range(6))
+        q2 = set(trace.flow_id[n // 4 : n // 2]) - set(range(6))
+        assert q1.isdisjoint(q2)
+
+    def test_epochs_need_enough_mice(self):
+        with pytest.raises(ConfigError):
+            generate_trace(
+                cfg(num_flows=10, num_elephants=2, elephant_share=0.7,
+                    mice_epochs=16)
+            )
+
+    def test_turnover_adds_flow_ids(self):
+        trace = generate_trace(cfg(elephant_turnover=0.5))
+        assert trace.num_flows == 300 + 3
+
+    def test_turnover_replacement_appears_later(self):
+        trace = generate_trace(cfg(num_packets=10_000, elephant_turnover=0.5))
+        for replacement in range(300, trace.num_flows):
+            positions = np.nonzero(trace.flow_id == replacement)[0]
+            if positions.size:
+                assert positions[0] > 0  # never the very first packet
+
+    def test_replaced_slot_disappears_after_switch(self):
+        trace = generate_trace(
+            cfg(num_packets=10_000, elephant_turnover=0.5, mice_epochs=2)
+        )
+        for j, replacement in enumerate(range(300, trace.num_flows)):
+            slot = 6 - (trace.num_flows - 300) + j
+            rep_pos = np.nonzero(trace.flow_id == replacement)[0]
+            old_pos = np.nonzero(trace.flow_id == slot)[0]
+            if rep_pos.size and old_pos.size:
+                assert old_pos.max() < rep_pos.min()
+
+
+class TestElephantSizes:
+    def test_constant_size_per_elephant(self):
+        trace = generate_trace(cfg(elephant_sizes=(96, 1500)))
+        for eid in range(6):
+            sizes = set(trace.size_bytes[trace.flow_id == eid].tolist())
+            assert len(sizes) <= 1
+
+    def test_sizes_from_classes(self):
+        trace = generate_trace(cfg(elephant_sizes=(96, 1500)))
+        elephant_mask = trace.flow_id < 6
+        assert set(np.unique(trace.size_bytes[elephant_mask])) <= {96, 1500}
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            cfg(elephant_sizes=(0,))
+
+
+class TestPresets:
+    def test_all_presets_instantiate(self):
+        for name in PRESETS:
+            trace = preset_trace(name, num_packets=500)
+            assert trace.num_packets == 500
+            assert trace.name == name
+
+    def test_preset_counts(self):
+        assert sum(1 for n in PRESETS if n.startswith("caida")) == 6
+        assert sum(1 for n in PRESETS if n.startswith("auck")) == 8
+
+    def test_preset_deterministic_across_calls(self):
+        a = preset_trace("caida-1", num_packets=1000)
+        b = preset_trace("caida-1", num_packets=1000)
+        np.testing.assert_array_equal(a.flow_id, b.flow_id)
+
+    def test_presets_differ(self):
+        a = preset_trace("caida-1", num_packets=1000)
+        b = preset_trace("caida-2", num_packets=1000)
+        assert not np.array_equal(a.flow_id, b.flow_id)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            preset_trace("nope")
+
+    def test_override_fields(self):
+        trace = preset_trace("auck-1", num_packets=200, burst_mean=1.0)
+        assert trace.num_packets == 200

@@ -1,0 +1,145 @@
+"""Tests for the Trace container and its persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.hashing.five_tuple import FiveTuple
+from repro.trace.trace import Trace
+
+
+class TestValidation:
+    def test_tiny_trace_valid(self, tiny_trace):
+        assert tiny_trace.num_packets == 6
+        assert tiny_trace.num_flows == 3
+
+    def test_mismatched_packet_columns(self, tiny_trace):
+        with pytest.raises(TraceFormatError):
+            Trace(
+                tiny_trace.flow_id[:3], tiny_trace.size_bytes, tiny_trace.gap_ns,
+                tiny_trace.flows_src_ip, tiny_trace.flows_dst_ip,
+                tiny_trace.flows_src_port, tiny_trace.flows_dst_port,
+                tiny_trace.flows_proto,
+            )
+
+    def test_flow_id_out_of_range(self, tiny_trace):
+        bad = tiny_trace.flow_id.copy()
+        bad[0] = 99
+        with pytest.raises(TraceFormatError):
+            Trace(
+                bad, tiny_trace.size_bytes, tiny_trace.gap_ns,
+                tiny_trace.flows_src_ip, tiny_trace.flows_dst_ip,
+                tiny_trace.flows_src_port, tiny_trace.flows_dst_port,
+                tiny_trace.flows_proto,
+            )
+
+    def test_negative_gap_rejected(self, tiny_trace):
+        bad = tiny_trace.gap_ns.copy()
+        bad[1] = -1
+        with pytest.raises(TraceFormatError):
+            Trace(
+                tiny_trace.flow_id, tiny_trace.size_bytes, bad,
+                tiny_trace.flows_src_ip, tiny_trace.flows_dst_ip,
+                tiny_trace.flows_src_port, tiny_trace.flows_dst_port,
+                tiny_trace.flows_proto,
+            )
+
+    def test_zero_size_rejected(self, tiny_trace):
+        bad = tiny_trace.size_bytes.copy()
+        bad[0] = 0
+        with pytest.raises(TraceFormatError):
+            Trace(
+                tiny_trace.flow_id, bad, tiny_trace.gap_ns,
+                tiny_trace.flows_src_ip, tiny_trace.flows_dst_ip,
+                tiny_trace.flows_src_port, tiny_trace.flows_dst_port,
+                tiny_trace.flows_proto,
+            )
+
+
+class TestViews:
+    def test_timestamps_cumulative(self, tiny_trace):
+        np.testing.assert_array_equal(
+            tiny_trace.timestamps_ns, np.cumsum(tiny_trace.gap_ns)
+        )
+
+    def test_duration(self, tiny_trace):
+        assert tiny_trace.duration_ns == int(tiny_trace.gap_ns.sum())
+
+    def test_total_bytes(self, tiny_trace):
+        assert tiny_trace.total_bytes == 100 + 200 + 100 + 64 + 1500 + 200
+
+    def test_len(self, tiny_trace):
+        assert len(tiny_trace) == 6
+
+    def test_five_tuple_lookup(self, tiny_trace):
+        key = tiny_trace.five_tuple(0)
+        assert isinstance(key, FiveTuple)
+        assert key.src_port == 1000
+
+    def test_five_tuple_out_of_range(self, tiny_trace):
+        with pytest.raises(IndexError):
+            tiny_trace.five_tuple(3)
+
+    def test_head(self, tiny_trace):
+        head = tiny_trace.head(2)
+        assert head.num_packets == 2
+        assert head.num_flows == 3  # full flow table retained
+
+    def test_head_negative_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.head(-1)
+
+    def test_concat_rebases_flow_ids(self, tiny_trace):
+        joined = tiny_trace.concat(tiny_trace)
+        assert joined.num_packets == 12
+        assert joined.num_flows == 6
+        assert int(joined.flow_id[6:].min()) >= 3
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        tiny_trace.save_npz(path)
+        loaded = Trace.load_npz(path)
+        np.testing.assert_array_equal(loaded.flow_id, tiny_trace.flow_id)
+        np.testing.assert_array_equal(loaded.size_bytes, tiny_trace.size_bytes)
+        np.testing.assert_array_equal(loaded.flows_src_ip, tiny_trace.flows_src_ip)
+        assert loaded.name == "tiny"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            Trace.load_npz(tmp_path / "missing.npz")
+
+    def test_load_missing_column(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, flow_id=np.zeros(1, dtype=np.int64))
+        with pytest.raises(TraceFormatError):
+            Trace.load_npz(path)
+
+    def test_csv_export(self, tiny_trace):
+        buf = io.StringIO()
+        tiny_trace.to_csv(buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 7  # header + 6 packets
+        assert lines[0].startswith("flow_id,")
+
+    def test_csv_to_file(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.csv"
+        tiny_trace.to_csv(path)
+        assert path.read_text().count("\n") >= 6
+
+
+class TestFromPackets:
+    def test_interning_order(self):
+        k1 = FiveTuple(1, 2, 3, 4, 6)
+        k2 = FiveTuple(5, 6, 7, 8, 17)
+        trace = Trace.from_packets([(k1, 10, 0), (k2, 20, 1), (k1, 30, 2)])
+        np.testing.assert_array_equal(trace.flow_id, [0, 1, 0])
+        assert trace.five_tuple(1) == k2
+
+    def test_empty(self):
+        trace = Trace.from_packets([])
+        assert trace.num_packets == 0
+        assert trace.duration_ns == 0

@@ -1,0 +1,55 @@
+"""Tests for the process-parallel map helper."""
+
+import os
+
+import pytest
+
+from repro.util.parallel import default_jobs, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def pid_of(_x):
+    return os.getpid()
+
+
+class TestParallelMap:
+    def test_inline_preserves_order(self):
+        assert parallel_map(square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(square, list(range(10)), jobs=2) == [
+            x * x for x in range(10)
+        ]
+
+    def test_auto_jobs(self):
+        assert parallel_map(square, [1, 2], jobs=0) == [1, 4]
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], jobs=-1)
+
+    def test_empty(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_single_item_stays_inline(self):
+        assert parallel_map(pid_of, [1], jobs=4) == [os.getpid()]
+
+    def test_workers_actually_fork(self):
+        pids = set(parallel_map(pid_of, list(range(8)), jobs=4))
+        # at least one task ran outside this process
+        assert pids - {os.getpid()}
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestExperimentsIntegration:
+    def test_fig7_jobs_matches_serial(self):
+        from repro.experiments import fig7
+
+        serial = fig7.run(quick=True, scenarios=("T1",), seed=0)
+        parallel = fig7.run(quick=True, scenarios=("T1",), seed=0, jobs=2)
+        assert serial.rows == parallel.rows

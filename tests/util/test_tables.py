@@ -1,0 +1,48 @@
+"""Tests for the ASCII table formatter."""
+
+import math
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_nan_renders_as_dashes(self):
+        out = format_table(["x"], [[math.nan]])
+        assert "--" in out
+
+    def test_none_renders_as_dashes(self):
+        out = format_table(["x"], [[None]])
+        assert "--" in out
+
+    def test_float_format(self):
+        out = format_table(["x"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+        assert "3.142" not in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        out = format_table(["name", "v"], [["x", 1], ["longer", 2]])
+        lines = out.splitlines()
+        # separator and data rows share the same pipe position
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) <= 2  # header/data vs separator (+ alignment)
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
