@@ -106,17 +106,57 @@ def test_laps_decision(benchmark):
     benchmark(op)
 
 
-def test_simulator_event_loop(benchmark):
-    """End-to-end simulated packets per second of wall time."""
+def _event_loop_inputs():
     svc = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
     trace = preset_trace("caida-1", num_packets=20_000)
     wl = build_workload(
         [trace], [HoltWintersParams(a=8e6)], duration_ns=units.ms(3), seed=0
     )
     cfg = SimConfig(num_cores=8, services=svc, collect_latencies=False)
+    return wl, cfg
+
+
+def test_simulator_event_loop(benchmark):
+    """End-to-end simulated packets per second of wall time.
+
+    Telemetry disabled (``probe=None``) — this is the number the < 5%
+    overhead budget of the observability layer is judged against.
+    """
+    wl, cfg = _event_loop_inputs()
 
     def run():
         return simulate(wl, make_scheduler("hash-static"), cfg)
 
     report = benchmark.pedantic(run, rounds=3, iterations=1)
     assert report.generated == wl.num_packets
+
+
+def test_simulator_event_loop_with_telemetry(benchmark):
+    """Same loop with the full default probe battery attached, for a
+    direct before/after read of the telemetry cost."""
+    from repro.obs import TelemetryProbe
+
+    wl, cfg = _event_loop_inputs()
+
+    def run():
+        probe = TelemetryProbe(units.us(100))
+        return simulate(wl, make_scheduler("hash-static"), cfg, probe=probe)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.generated == wl.num_packets
+
+
+def test_simulator_profile_hooks(capsys):
+    """Wall-clock profile of one run: packets/sec, events popped,
+    scheduler time share (printed so bench runs surface the numbers)."""
+    from repro.obs import profile_run
+    from repro.sim.system import NetworkProcessorSim
+
+    wl, cfg = _event_loop_inputs()
+    sim = NetworkProcessorSim(cfg, make_scheduler("hash-static"), wl)
+    report, prof = profile_run(sim)
+    assert prof.packets == report.generated
+    assert prof.events_popped == report.departed
+    assert 0.0 <= prof.sched_share <= 1.0
+    with capsys.disabled():
+        print(f"\n[profile] {prof.summary()}")

@@ -96,6 +96,13 @@ from repro.sim import (
     restoration_cost,
     simulate,
 )
+from repro.obs import (
+    RunManifest,
+    TelemetryProbe,
+    load_run,
+    profile_run,
+    write_run,
+)
 
 __version__ = "1.0.0"
 
@@ -126,5 +133,7 @@ __all__ = [
     "HoltWinters", "HoltWintersParams", "PowerModel", "QueueProbe",
     "RestorationBuffer", "SimConfig", "SimReport", "Workload",
     "build_workload", "restoration_cost", "simulate",
+    # obs (telemetry)
+    "RunManifest", "TelemetryProbe", "load_run", "profile_run", "write_run",
     "__version__",
 ]

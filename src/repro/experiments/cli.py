@@ -47,6 +47,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also write each result as JSON into DIR",
     )
     parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="dump each result as a telemetry run dir "
+             "(manifest.json + result.json + rows.ndjson) under DIR",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="parallel worker processes for fig7/fig9 (0 = auto)",
     )
@@ -57,6 +62,7 @@ def main(argv: list[str] | None = None) -> int:
     json_dir = Path(args.json) if args.json else None
     if json_dir:
         json_dir.mkdir(parents=True, exist_ok=True)
+    telemetry_dir = Path(args.telemetry) if args.telemetry else None
 
     for name in names:
         t0 = time.perf_counter()
@@ -65,9 +71,11 @@ def main(argv: list[str] | None = None) -> int:
         for i, result in enumerate(results):
             print(result.format())
             print()
+            stem = name if len(results) == 1 else f"{name}_{i}"
             if json_dir:
-                stem = name if len(results) == 1 else f"{name}_{i}"
                 result.to_json(json_dir / f"{stem}.json")
+            if telemetry_dir:
+                result.to_run_dir(telemetry_dir / stem)
         if name == "fig7":
             head = fig7.headline(results[0])
             print(

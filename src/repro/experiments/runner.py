@@ -70,6 +70,19 @@ class ExperimentResult:
             Path(path).write_text(payload)
         return payload
 
+    def to_run_dir(self, exp_dir: str | Path, manifest=None) -> dict:
+        """Dump this result (plus provenance) as a telemetry run dir.
+
+        Writes ``result.json`` and ``rows.ndjson`` (and the manifest,
+        when given) under *exp_dir* via :mod:`repro.obs.export`; the
+        default manifest records the experiment name and ``meta``.
+        """
+        from repro.obs import RunManifest, write_experiment
+
+        if manifest is None:
+            manifest = RunManifest.capture(experiment=self.experiment, **self.meta)
+        return write_experiment(exp_dir, self, manifest=manifest)
+
 
 def scenario_config(
     num_cores: int = 16,

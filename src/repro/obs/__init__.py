@@ -1,0 +1,59 @@
+"""Run telemetry: manifests, composable probes, exporters, profiling.
+
+Observability layer for simulation runs.  A run produces three kinds of
+evidence, all disabled by default so the hot loop stays tight:
+
+* a :class:`RunManifest` — provenance (seed, config snapshot, package
+  version, wall clock, host) that makes any dumped run reproducible;
+* time series from a :class:`TelemetryProbe` — composable samplers
+  (queue occupancy, progress counters, scheduler stats, reorder gaps)
+  recorded on a fixed period, *including* the drain phase;
+* a :class:`HotLoopProfile` — wall-clock packets/sec, events popped and
+  scheduler time share measured around the event loop.
+
+Dumps are plain files (``manifest.json``, ``report.json``,
+``series.ndjson``) written by :func:`write_run` and read back by
+:func:`load_run`, so any run or experiment can be re-analysed offline.
+"""
+
+from repro.obs.export import (
+    RunRecord,
+    load_run,
+    read_ndjson,
+    write_csv,
+    write_experiment,
+    write_ndjson,
+    write_run,
+)
+from repro.obs.manifest import RunManifest, config_snapshot
+from repro.obs.probes import (
+    ProgressSampler,
+    QueueOccupancySampler,
+    ReorderSampler,
+    Sampler,
+    SchedulerSampler,
+    TelemetryProbe,
+    default_samplers,
+)
+from repro.obs.profile import HotLoopProfile, profile_run
+
+__all__ = [
+    "RunManifest",
+    "config_snapshot",
+    "Sampler",
+    "QueueOccupancySampler",
+    "ProgressSampler",
+    "SchedulerSampler",
+    "ReorderSampler",
+    "TelemetryProbe",
+    "default_samplers",
+    "RunRecord",
+    "write_run",
+    "load_run",
+    "write_experiment",
+    "write_ndjson",
+    "read_ndjson",
+    "write_csv",
+    "HotLoopProfile",
+    "profile_run",
+]

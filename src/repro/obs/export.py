@@ -1,0 +1,205 @@
+"""Dump/load a run's telemetry as plain files.
+
+Layout of a run directory (``write_run`` → ``load_run``)::
+
+    out/laps/
+        manifest.json    RunManifest (provenance)
+        report.json      the frozen SimReport as a dict
+        series.ndjson    one JSON object per probe sample
+        series.csv       optional flat CSV of the same rows
+
+NDJSON is the primary format: append-friendly, greppable, loads
+row-by-row without a schema.  The CSV mirror flattens list-valued
+columns (``occupancy`` → ``occupancy_0..N-1``) for spreadsheet use.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "MANIFEST_FILE",
+    "REPORT_FILE",
+    "SERIES_FILE",
+    "RunRecord",
+    "write_ndjson",
+    "read_ndjson",
+    "write_csv",
+    "write_run",
+    "load_run",
+    "write_experiment",
+]
+
+MANIFEST_FILE = "manifest.json"
+REPORT_FILE = "report.json"
+SERIES_FILE = "series.ndjson"
+SERIES_CSV_FILE = "series.csv"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays so json.dumps succeeds."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_ndjson(path: str | Path, records: list[dict]) -> Path:
+    """One compact JSON object per line."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for rec in records:
+            fh.write(json.dumps(_jsonable(rec), separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def read_ndjson(path: str | Path) -> list[dict]:
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _flat_columns(records: list[dict]) -> list[str]:
+    """Union of flattened column names, in first-seen order."""
+    cols: dict[str, None] = {}
+    for rec in records:
+        for key, value in rec.items():
+            if isinstance(value, (list, tuple)):
+                for i in range(len(value)):
+                    cols.setdefault(f"{key}_{i}")
+            else:
+                cols.setdefault(key)
+    return list(cols)
+
+
+def write_csv(path: str | Path, records: list[dict]) -> Path:
+    """Flat CSV of *records*; list columns become ``name_i``."""
+    path = Path(path)
+    columns = _flat_columns(records)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        for rec in records:
+            flat: dict[str, Any] = {}
+            for key, value in rec.items():
+                if isinstance(value, (list, tuple)):
+                    for i, v in enumerate(value):
+                        flat[f"{key}_{i}"] = _jsonable(v)
+                else:
+                    flat[key] = _jsonable(value)
+            writer.writerow(flat)
+    return path
+
+
+def write_run(
+    run_dir: str | Path,
+    *,
+    report=None,
+    manifest=None,
+    probe=None,
+    csv_mirror: bool = False,
+) -> dict[str, Path]:
+    """Dump a run (any subset of report/manifest/probe) into *run_dir*.
+
+    Returns the paths written, keyed ``manifest``/``report``/``series``
+    (and ``csv`` with *csv_mirror*).
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    if manifest is not None:
+        written["manifest"] = manifest.save(run_dir / MANIFEST_FILE)
+    if report is not None:
+        payload = _jsonable(dataclasses.asdict(report))
+        path = run_dir / REPORT_FILE
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        written["report"] = path
+    if probe is not None:
+        records = probe.to_records()
+        written["series"] = write_ndjson(run_dir / SERIES_FILE, records)
+        if csv_mirror:
+            written["csv"] = write_csv(run_dir / SERIES_CSV_FILE, records)
+    return written
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """A run loaded back from disk (see :func:`load_run`)."""
+
+    manifest: dict | None
+    report: dict | None
+    records: list[dict]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.records)
+
+    def times_ns(self) -> np.ndarray:
+        return self.series("t_ns")
+
+    def series(self, column: str) -> np.ndarray:
+        """One column over time; missing scalar values become NaN."""
+        values = [r.get(column) for r in self.records]
+        if any(isinstance(v, list) for v in values):
+            return np.asarray(values)
+        return np.asarray(
+            [np.nan if v is None else v for v in values], dtype=np.float64
+        )
+
+    def columns(self) -> list[str]:
+        cols: dict[str, None] = {}
+        for rec in self.records:
+            for key in rec:
+                cols.setdefault(key)
+        return list(cols)
+
+
+def load_run(run_dir: str | Path) -> RunRecord:
+    """Load whatever :func:`write_run` left in *run_dir*."""
+    run_dir = Path(run_dir)
+    manifest = None
+    mpath = run_dir / MANIFEST_FILE
+    if mpath.exists():
+        manifest = json.loads(mpath.read_text())
+    report = None
+    rpath = run_dir / REPORT_FILE
+    if rpath.exists():
+        report = json.loads(rpath.read_text())
+    spath = run_dir / SERIES_FILE
+    records = read_ndjson(spath) if spath.exists() else []
+    return RunRecord(manifest=manifest, report=report, records=records)
+
+
+def write_experiment(exp_dir: str | Path, result, manifest=None) -> dict[str, Path]:
+    """Dump an :class:`~repro.experiments.runner.ExperimentResult`.
+
+    Writes ``result.json`` (columns + rows + meta, the format
+    ``ExperimentResult.to_json`` already emits), the rows as
+    ``rows.ndjson`` for uniform loading, and optionally a manifest.
+    """
+    exp_dir = Path(exp_dir)
+    exp_dir.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    path = exp_dir / "result.json"
+    result.to_json(path)
+    written["result"] = path
+    written["rows"] = write_ndjson(exp_dir / "rows.ndjson", result.rows)
+    if manifest is not None:
+        written["manifest"] = manifest.save(exp_dir / MANIFEST_FILE)
+    return written

@@ -1,0 +1,87 @@
+"""Wall-clock profiling hooks around the simulator's hot loop.
+
+:func:`profile_run` wraps one :class:`NetworkProcessorSim` run with
+``perf_counter`` timing: total wall time, simulated packets per
+wall-second, completion events popped, and the share of wall time spent
+inside the scheduler's ``select_core`` (measured by shadowing the bound
+method with a timing wrapper for the duration of the run — zero cost
+when profiling is off, since the simulator is untouched).
+
+The numbers feed ``benchmarks/bench_kernels.py`` and ad-hoc "where did
+the time go" questions; for statement-level attribution use cProfile as
+described in ``docs/simulator.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["HotLoopProfile", "profile_run"]
+
+
+@dataclass(frozen=True)
+class HotLoopProfile:
+    """Wall-clock summary of one simulation run."""
+
+    wall_s: float
+    packets: int
+    departed: int
+    events_popped: int
+    sched_calls: int
+    sched_s: float
+
+    @property
+    def packets_per_sec(self) -> float:
+        """Simulated packets retired per wall-clock second."""
+        return self.packets / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def sched_share(self) -> float:
+        """Fraction of wall time spent in ``select_core``."""
+        return self.sched_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.packets} pkts in {self.wall_s * 1e3:.1f} ms wall "
+            f"({self.packets_per_sec / 1e3:.0f} k pkts/s), "
+            f"{self.events_popped} events, "
+            f"scheduler {self.sched_share:.0%} of wall time"
+        )
+
+
+def profile_run(sim) -> tuple:
+    """Run *sim* once, timing the hot loop; returns ``(report, profile)``.
+
+    The scheduler's ``select_core`` is temporarily shadowed with a
+    timing wrapper (an instance attribute, removed afterwards), so the
+    per-call overhead exists only while profiling.
+    """
+    sched = sim.scheduler
+    select = sched.select_core
+    counters = [0, 0]  # calls, ns
+    perf_ns = time.perf_counter_ns
+
+    def timed_select(flow_id, service_id, flow_hash, t_ns):
+        t0 = perf_ns()
+        core = select(flow_id, service_id, flow_hash, t_ns)
+        counters[0] += 1
+        counters[1] += perf_ns() - t0
+        return core
+
+    sched.select_core = timed_select
+    try:
+        t0 = time.perf_counter()
+        report = sim.run()
+        wall_s = time.perf_counter() - t0
+    finally:
+        del sched.select_core  # un-shadow the bound method
+    profile = HotLoopProfile(
+        wall_s=wall_s,
+        packets=report.generated,
+        departed=report.departed,
+        events_popped=sim.events_popped,
+        sched_calls=counters[0],
+        sched_s=counters[1] / 1e9,
+    )
+    return report, profile

@@ -8,9 +8,12 @@ script:
 
     python -m repro.sim compare --pcap capture.pcap.gz --duration-ms 10
 
+    python -m repro.sim compare --telemetry out/   # + NDJSON time series
+
 Single-service by default (IP forwarding); ``--multiservice`` runs the
 four-service edge router with the default classifier splitting the
-trace.
+trace.  ``--telemetry DIR`` attaches a :class:`repro.obs.TelemetryProbe`
+to every run and dumps manifest + report + series per scheduler.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from pathlib import Path
 
 from repro import units
 from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.obs import RunManifest, TelemetryProbe, write_run
 from repro.net.classifier import default_edge_rules
 from repro.net.service import Service, ServiceSet, default_services
 from repro.schedulers.afs import AFSScheduler
@@ -90,10 +94,31 @@ def _cmd_compare(args) -> int:
           f"{args.duration_ms} ms on {args.cores} cores "
           f"(target utilisation {args.utilisation:.2f})\n")
 
+    telemetry_dir = Path(args.telemetry) if args.telemetry else None
     rows = []
     for name in args.schedulers:
+        probe = None
+        if telemetry_dir is not None:
+            probe = TelemetryProbe(units.us(args.probe_period_us))
         rep = simulate(workload, _make_sched(name, num_services, args.seed),
-                       config)
+                       config, probe=probe)
+        if telemetry_dir is not None:
+            manifest = RunManifest.capture(
+                config=config,
+                seed=args.seed,
+                scheduler=name,
+                trace=getattr(trace, "name", None),
+                utilisation=args.utilisation,
+                duration_ms=args.duration_ms,
+                probe_period_us=args.probe_period_us,
+                num_packets=workload.num_packets,
+            )
+            paths = write_run(
+                telemetry_dir / name, report=rep, manifest=manifest,
+                probe=probe, csv_mirror=args.telemetry_csv,
+            )
+            print(f"[telemetry] {name}: {probe.num_samples} samples -> "
+                  f"{paths['series'].parent}")
         rows.append([
             name, rep.dropped, f"{rep.drop_fraction:.2%}",
             rep.out_of_order, f"{rep.ooo_fraction:.3%}",
@@ -134,6 +159,19 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p.add_argument(
         "--schedulers", nargs="+", default=["hash-static", "afs", "laps"],
         choices=available_schedulers(),
+    )
+    cmp_p.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="dump manifest + report + NDJSON probe series per scheduler "
+             "into DIR/<scheduler>/ (see docs/simulator.md, Telemetry)",
+    )
+    cmp_p.add_argument(
+        "--probe-period-us", type=float, default=100.0,
+        help="telemetry sampling period in microseconds (default 100)",
+    )
+    cmp_p.add_argument(
+        "--telemetry-csv", action="store_true",
+        help="also mirror the probe series as series.csv",
     )
     cmp_p.set_defaults(func=_cmd_compare)
 

@@ -22,12 +22,14 @@ __all__ = ["EventQueue"]
 class EventQueue:
     """Time-ordered event heap with deterministic tie-breaking."""
 
-    __slots__ = ("_heap", "_seq", "_last_pop_ns")
+    __slots__ = ("_heap", "_seq", "_last_pop_ns", "popped")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Any]] = []
         self._seq = 0
         self._last_pop_ns = -1
+        #: lifetime count of popped events (profiling signal)
+        self.popped = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -59,6 +61,7 @@ class EventQueue:
             raise SimulationError("pop from an empty event queue")
         time_ns, _, payload = heapq.heappop(self._heap)
         self._last_pop_ns = time_ns
+        self.popped += 1
         return time_ns, payload
 
     def pop_until(self, horizon_ns: int) -> Iterator[tuple[int, Any]]:
@@ -74,3 +77,4 @@ class EventQueue:
     def clear(self) -> None:
         self._heap.clear()
         self._last_pop_ns = -1
+        self.popped = 0

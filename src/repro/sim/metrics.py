@@ -32,6 +32,7 @@ class SimMetrics:
         "dropped_per_service",
         "busy_ns_per_core",
         "latencies_ns",
+        "last_depart_ns",
     )
 
     def __init__(self, num_services: int, num_cores: int) -> None:
@@ -46,6 +47,7 @@ class SimMetrics:
         self.dropped_per_service = [0] * num_services
         self.busy_ns_per_core = [0] * num_cores
         self.latencies_ns: list[int] = []
+        self.last_depart_ns = 0
 
     def finalize(
         self,
@@ -58,9 +60,16 @@ class SimMetrics:
         departures: tuple[tuple[int, int, int], ...] = (),
         drop_records: tuple[tuple[int, int, int], ...] = (),
     ) -> "SimReport":
-        """Freeze the counters into an immutable report."""
+        """Freeze the counters into an immutable report.
+
+        Utilisation divides busy time by the *observed* horizon — the
+        workload duration extended to the last departure when the drain
+        phase ran past it — so a core can never exceed 1.0 just because
+        it kept serving queued packets after the last arrival.
+        """
+        observed_ns = max(duration_ns, self.last_depart_ns)
         util = [
-            b / duration_ns if duration_ns > 0 else 0.0 for b in self.busy_ns_per_core
+            b / observed_ns if observed_ns > 0 else 0.0 for b in self.busy_ns_per_core
         ]
         lat = (
             summarize(self.latencies_ns)
@@ -70,6 +79,7 @@ class SimMetrics:
         return SimReport(
             scheduler=scheduler_name,
             duration_ns=duration_ns,
+            observed_ns=observed_ns,
             generated=self.generated,
             dropped=self.dropped,
             departed=self.departed,
@@ -103,6 +113,9 @@ class SimReport:
     generated_per_service: tuple[int, ...]
     dropped_per_service: tuple[int, ...]
     core_utilization: tuple[float, ...]
+    #: utilisation horizon: ``max(duration_ns, last departure)`` — the
+    #: denominator of ``core_utilization`` (covers the drain phase).
+    observed_ns: int = 0
     latency_ns: dict[str, float] = field(default_factory=dict)
     scheduler_stats: dict[str, float] = field(default_factory=dict)
     #: egress sequence (flow_id, seq, depart_ns), only when

@@ -29,18 +29,36 @@ class QueueProbe:
         self._next_ns = 0
 
     def maybe_sample(self, t_ns: int, queues, metrics) -> None:
-        """Record one row per elapsed period boundary up to *t_ns*."""
-        while self._next_ns <= t_ns:
-            self.times_ns.append(self._next_ns)
-            self.occupancies.append(queues.occupancies())
-            self.dropped.append(metrics.dropped)
-            self.departed.append(metrics.departed)
-            self._next_ns += self.period_ns
+        """Record at most one row when *t_ns* crossed a period boundary.
+
+        The sample is timestamped with the actual observation time
+        ``t_ns``.  Boundaries skipped over between calls (sparse
+        arrivals) are *not* backfilled — present state must never be
+        attributed to past timestamps; resample offline with explicit
+        carry-forward if a uniform grid is needed.
+        """
+        if t_ns < self._next_ns:
+            return
+        self.times_ns.append(t_ns)
+        self.occupancies.append(queues.occupancies())
+        self.dropped.append(metrics.dropped)
+        self.departed.append(metrics.departed)
+        # first grid boundary strictly after t_ns
+        self._next_ns = (t_ns // self.period_ns + 1) * self.period_ns
 
     # ------------------------------------------------------------------
     @property
     def num_samples(self) -> int:
         return len(self.times_ns)
+
+    def to_records(self) -> list[dict]:
+        """Rows as dicts (``repro.obs.export.write_run`` input)."""
+        return [
+            {"t_ns": t, "occupancy": occ, "dropped": drop, "departed": dep}
+            for t, occ, drop, dep in zip(
+                self.times_ns, self.occupancies, self.dropped, self.departed
+            )
+        ]
 
     def occupancy_matrix(self) -> np.ndarray:
         """(samples, cores) int array of queue depths."""

@@ -61,6 +61,8 @@ class NetworkProcessorSim:
         self.metrics = SimMetrics(len(config.services), config.num_cores)
         #: optional :class:`repro.sim.probes.QueueProbe`-like sampler
         self.probe = probe
+        #: completion events popped by the last run (profiling signal)
+        self.events_popped = 0
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -135,6 +137,7 @@ class NetworkProcessorSim:
             """Drain completion events with time <= horizon."""
             for t_done, (core, pkt) in events.pop_until(horizon_ns):
                 metrics.departed += 1
+                metrics.last_depart_ns = t_done  # pops are time-ordered
                 reorder.on_depart(int(flow[pkt]), int(seq[pkt]))
                 if collect_lat:
                     latencies.append(t_done - int(arrival[pkt]))
@@ -148,6 +151,8 @@ class NetworkProcessorSim:
                     start_packet(core, q.take(), t_done)
 
         probe = self.probe
+        if probe is not None and hasattr(probe, "bind"):
+            probe.bind(self)  # full-state view for rich samplers
         for i in range(n):
             t = int(arrival[i])
             complete_until(t)
@@ -175,9 +180,25 @@ class NetworkProcessorSim:
                 sched.on_queue_busy(core, t)
                 start_packet(core, i, t)
 
-        # drain phase: let queued work depart (bounded)
+        # drain phase: let queued work depart (bounded).  With a probe
+        # attached the drain advances one probe period at a time so the
+        # time series keeps covering departures after the last arrival;
+        # an empty heap means nothing is in flight (a non-empty queue
+        # implies a busy core, which implies a pending completion), so
+        # further boundaries would only repeat a frozen state.
         last_t = int(arrival[-1]) if n else 0
-        complete_until(last_t + cfg.drain_ns)
+        drain_end = last_t + cfg.drain_ns
+        if probe is not None and cfg.drain_ns > 0:
+            step = getattr(probe, "period_ns", 0) or cfg.drain_ns
+            t = last_t + step
+            while t < drain_end and events:
+                complete_until(t)
+                probe.maybe_sample(t, queues, metrics)
+                t += step
+        complete_until(drain_end)
+        if probe is not None:
+            probe.maybe_sample(drain_end, queues, metrics)
+        self.events_popped = events.popped
         # anything still in flight past the drain bound is abandoned
         # unscored (counted as neither departed nor dropped)
 

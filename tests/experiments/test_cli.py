@@ -28,3 +28,16 @@ class TestCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-an-experiment"])
+
+    def test_telemetry_output(self, tmp_path, capsys):
+        from repro.obs import RunManifest, read_ndjson
+
+        assert main(["timing", "--telemetry", str(tmp_path)]) == 0
+        run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert run_dirs
+        run = run_dirs[0]
+        manifest = RunManifest.load(run / "manifest.json")
+        assert manifest.package_version
+        rows = read_ndjson(run / "rows.ndjson")
+        payload = json.loads((run / "result.json").read_text())
+        assert rows == payload["rows"]

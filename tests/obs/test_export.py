@@ -1,0 +1,95 @@
+"""Tests for the NDJSON/CSV exporters and the run loader."""
+
+import numpy as np
+
+from repro import units
+from repro.obs import (
+    RunManifest,
+    TelemetryProbe,
+    load_run,
+    read_ndjson,
+    write_csv,
+    write_ndjson,
+    write_run,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.system import simulate
+
+
+class TestNdjson:
+    def test_round_trip(self, tmp_path):
+        records = [
+            {"t_ns": 0, "occupancy": [1, 2], "dropped": 0},
+            {"t_ns": 100, "occupancy": [0, 3], "dropped": 2},
+        ]
+        path = write_ndjson(tmp_path / "s.ndjson", records)
+        assert read_ndjson(path) == records
+
+    def test_numpy_values_coerced(self, tmp_path):
+        records = [{"t_ns": np.int64(5), "occ": np.asarray([1, 2])}]
+        path = write_ndjson(tmp_path / "s.ndjson", records)
+        assert read_ndjson(path) == [{"t_ns": 5, "occ": [1, 2]}]
+
+
+class TestCsv:
+    def test_list_columns_flattened(self, tmp_path):
+        records = [{"t_ns": 0, "occupancy": [7, 9]}]
+        path = write_csv(tmp_path / "s.csv", records)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "t_ns,occupancy_0,occupancy_1"
+        assert lines[1] == "0,7,9"
+
+
+class TestRunRoundTrip:
+    def test_simulated_run_round_trips(self, tmp_path, small_workload, small_config):
+        probe = TelemetryProbe(units.us(100))
+        rep = simulate(small_workload, FCFSScheduler(), small_config, probe=probe)
+        manifest = RunManifest.capture(
+            config=small_config, seed=1, scheduler="fcfs"
+        )
+        paths = write_run(
+            tmp_path / "fcfs", report=rep, manifest=manifest, probe=probe,
+            csv_mirror=True,
+        )
+        assert set(paths) == {"manifest", "report", "series", "csv"}
+
+        back = load_run(tmp_path / "fcfs")
+        assert back.manifest == manifest.to_dict()
+        assert back.report["scheduler"] == "fcfs"
+        assert back.report["departed"] == rep.departed
+        assert back.num_samples == probe.num_samples
+        np.testing.assert_array_equal(back.times_ns(), probe.times_ns)
+        np.testing.assert_array_equal(
+            back.series("departed"), probe.column("departed")
+        )
+        assert "occupancy" in back.columns()
+
+    def test_load_empty_dir(self, tmp_path):
+        rec = load_run(tmp_path)
+        assert rec.manifest is None and rec.report is None
+        assert rec.records == []
+
+    def test_missing_column_is_nan(self, tmp_path):
+        write_ndjson(tmp_path / "series.ndjson",
+                     [{"t_ns": 0, "x": 1}, {"t_ns": 1}])
+        rec = load_run(tmp_path)
+        series = rec.series("x")
+        assert series[0] == 1.0 and np.isnan(series[1])
+
+
+class TestExperimentDump:
+    def test_experiment_round_trip(self, tmp_path):
+        from repro.experiments.runner import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="demo", columns=["scheduler", "dropped"],
+            meta={"seed": 0},
+        )
+        result.add(scheduler="fcfs", dropped=3)
+        written = result.to_run_dir(tmp_path / "demo")
+        assert set(written) == {"result", "rows", "manifest"}
+        rows = read_ndjson(tmp_path / "demo" / "rows.ndjson")
+        assert rows == [{"scheduler": "fcfs", "dropped": 3}]
+        manifest = RunManifest.load(tmp_path / "demo" / "manifest.json")
+        assert manifest.extra["experiment"] == "demo"
+        assert manifest.seed == 0

@@ -1,0 +1,49 @@
+"""Tests for run manifests (provenance records)."""
+
+import json
+
+import repro
+from repro.obs import RunManifest, config_snapshot
+from repro.sim.config import SimConfig
+
+
+class TestCapture:
+    def test_environment_fields(self):
+        m = RunManifest.capture(seed=7, scheduler="laps")
+        assert m.package_version == repro.__version__
+        assert m.seed == 7
+        assert m.scheduler == "laps"
+        assert m.host
+        assert m.created_utc.endswith("Z")
+
+    def test_config_snapshot_inlined(self, single_service):
+        cfg = SimConfig(num_cores=4, services=single_service)
+        m = RunManifest.capture(config=cfg)
+        assert m.config["num_cores"] == 4
+        assert m.config["services"][0]["name"] == "ip-forward"
+
+    def test_extra_kwargs_recorded(self):
+        m = RunManifest.capture(trace="caida-1", utilisation=1.05)
+        assert m.extra == {"trace": "caida-1", "utilisation": 1.05}
+
+
+class TestSnapshot:
+    def test_default_config_is_json_clean(self):
+        snap = config_snapshot(SimConfig())
+        json.dumps(snap)  # must not raise
+        assert snap["num_cores"] == 16
+        assert len(snap["services"]) == 4
+        assert snap["drain_ns"] > 0
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, single_service):
+        cfg = SimConfig(num_cores=2, services=single_service)
+        m = RunManifest.capture(config=cfg, seed=3, scheduler="afs", note="x")
+        path = m.save(tmp_path / "manifest.json")
+        back = RunManifest.load(path)
+        assert back == m
+
+    def test_dict_round_trip(self):
+        m = RunManifest.capture(seed=1)
+        assert RunManifest.from_dict(m.to_dict()) == m

@@ -1,0 +1,120 @@
+"""Tests for the composable telemetry probe framework."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.obs import (
+    ProgressSampler,
+    QueueOccupancySampler,
+    ReorderSampler,
+    SchedulerSampler,
+    TelemetryProbe,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.system import NetworkProcessorSim
+
+
+class FakeQueues:
+    def __init__(self, occ):
+        self._occ = occ
+
+    def occupancies(self):
+        return list(self._occ)
+
+
+class FakeMetrics:
+    def __init__(self):
+        self.generated = 0
+        self.dropped = 0
+        self.departed = 0
+        self.generated_per_service = [0]
+        self.dropped_per_service = [0]
+
+
+class TestPeriodSemantics:
+    def test_invalid_period(self):
+        with pytest.raises(ConfigError):
+            TelemetryProbe(0)
+
+    def test_one_sample_per_call_no_backfill(self):
+        probe = TelemetryProbe(100, [ProgressSampler()])
+        m = FakeMetrics()
+        probe.maybe_sample(250, FakeQueues([0]), m)
+        assert probe.times_ns == [250]
+        m.dropped = 9
+        probe.maybe_sample(260, FakeQueues([0]), m)   # same period
+        assert probe.num_samples == 1
+        probe.maybe_sample(301, FakeQueues([0]), m)
+        assert probe.times_ns == [250, 301]
+        assert [r["dropped"] for r in probe.records] == [0, 9]
+
+
+class TestSamplers:
+    def test_queue_occupancy_columns(self):
+        probe = TelemetryProbe(10, [QueueOccupancySampler()])
+        probe.maybe_sample(0, FakeQueues([2, 5]), FakeMetrics())
+        row = probe.records[0]
+        assert row["occupancy"] == [2, 5]
+        assert row["occ_max"] == 5 and row["occ_min"] == 2
+
+    def test_unbound_rich_samplers_degrade_to_empty(self):
+        """Scheduler/reorder samplers need the bound simulator; without
+        it they contribute nothing rather than crashing."""
+        probe = TelemetryProbe(10, [SchedulerSampler(), ReorderSampler()])
+        probe.maybe_sample(0, FakeQueues([0]), FakeMetrics())
+        assert probe.records == [{"t_ns": 0}]
+
+    def test_per_service_progress(self):
+        probe = TelemetryProbe(10, [ProgressSampler(per_service=True)])
+        probe.maybe_sample(0, FakeQueues([0]), FakeMetrics())
+        assert probe.records[0]["dropped_per_service"] == [0]
+
+    def test_column_accessor(self):
+        probe = TelemetryProbe(10, [ProgressSampler()])
+        m = FakeMetrics()
+        probe.maybe_sample(0, FakeQueues([0]), m)
+        m.departed = 4
+        probe.maybe_sample(10, FakeQueues([0]), m)
+        np.testing.assert_array_equal(probe.column("departed"), [0.0, 4.0])
+
+
+class TestEndToEnd:
+    def test_full_battery_in_simulation(self, small_workload, small_config):
+        probe = TelemetryProbe(units.us(100))
+        sim = NetworkProcessorSim(
+            small_config, FCFSScheduler(), small_workload, probe=probe
+        )
+        rep = sim.run()
+        assert probe.num_samples > 5
+        row = probe.records[-1]
+        # all four default samplers contributed (probe was bound)
+        assert "occupancy" in row and "departed" in row
+        assert "out_of_order" in row and "in_flight_gaps" in row
+        assert row["departed"] == rep.departed
+        assert row["out_of_order"] == rep.out_of_order
+
+    def test_drain_phase_covered(self, small_workload, small_config):
+        probe = TelemetryProbe(units.us(100))
+        sim = NetworkProcessorSim(
+            small_config, FCFSScheduler(), small_workload, probe=probe
+        )
+        sim.run()
+        last_arrival = int(small_workload.arrival_ns[-1])
+        drain_rows = [r for r in probe.records if r["t_ns"] > last_arrival]
+        assert drain_rows, "no samples during the drain phase"
+        # in-flight gaps drain to zero and queues empty out
+        assert drain_rows[-1]["in_flight_gaps"] == 0
+        assert sum(drain_rows[-1]["occupancy"]) == 0
+
+    def test_scheduler_counters_sampled(self, small_workload, small_config):
+        from repro.core.laps import LAPSConfig, LAPSScheduler
+
+        probe = TelemetryProbe(units.us(100))
+        sched = LAPSScheduler(LAPSConfig(num_services=1), rng=0)
+        sim = NetworkProcessorSim(small_config, sched, small_workload, probe=probe)
+        sim.run()
+        row = probe.records[-1]
+        assert "sched_migrations_installed" in row
+        assert "sched_core_requests" in row

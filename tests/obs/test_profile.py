@@ -1,0 +1,52 @@
+"""Tests for the hot-loop profiling hooks."""
+
+import pytest
+
+from repro.obs import HotLoopProfile, profile_run
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.system import NetworkProcessorSim
+
+
+class TestProfileRun:
+    def test_counts_and_rates(self, small_workload, small_config):
+        sim = NetworkProcessorSim(small_config, FCFSScheduler(), small_workload)
+        report, prof = profile_run(sim)
+        assert prof.packets == report.generated == small_workload.num_packets
+        assert prof.departed == report.departed
+        assert prof.events_popped == report.departed
+        # every arriving packet consulted the scheduler exactly once
+        assert prof.sched_calls == report.generated
+        assert prof.wall_s > 0
+        assert prof.packets_per_sec > 0
+        assert 0.0 <= prof.sched_share <= 1.0
+
+    def test_wrapper_removed_after_run(self, small_workload, small_config):
+        sched = FCFSScheduler()
+        sim = NetworkProcessorSim(small_config, sched, small_workload)
+        profile_run(sim)
+        # the timing shadow must be gone (instance dict clean)
+        assert "select_core" not in vars(sched)
+
+    def test_wrapper_removed_on_error(self, small_workload, small_config):
+        sched = FCFSScheduler()
+        sim = NetworkProcessorSim(small_config, sched, small_workload)
+        sim._ran = True  # force run() to raise
+        with pytest.raises(Exception):
+            profile_run(sim)
+        assert "select_core" not in vars(sched)
+
+    def test_summary_renders(self, small_workload, small_config):
+        sim = NetworkProcessorSim(small_config, FCFSScheduler(), small_workload)
+        _, prof = profile_run(sim)
+        text = prof.summary()
+        assert "pkts/s" in text and "scheduler" in text
+
+
+class TestDataclass:
+    def test_zero_wall_guarded(self):
+        prof = HotLoopProfile(
+            wall_s=0.0, packets=0, departed=0, events_popped=0,
+            sched_calls=0, sched_s=0.0,
+        )
+        assert prof.packets_per_sec == 0.0
+        assert prof.sched_share == 0.0

@@ -53,3 +53,32 @@ class TestCompare:
     def test_unknown_scheduler_rejected(self):
         with pytest.raises(SystemExit):
             main(["compare", "--schedulers", "bogus"])
+
+
+class TestTelemetry:
+    def test_telemetry_dump_round_trips(self, tmp_path, capsys):
+        from repro.obs import load_run
+
+        out_dir = tmp_path / "out"
+        rc = main([
+            "compare", "--trace", "auck-1", "--packets", "5000",
+            "--cores", "4", "--duration-ms", "2",
+            "--schedulers", "fcfs", "laps",
+            "--telemetry", str(out_dir), "--telemetry-csv",
+        ])
+        assert rc == 0
+        assert "[telemetry]" in capsys.readouterr().out
+        for name in ("fcfs", "laps"):
+            run_dir = out_dir / name
+            assert (run_dir / "manifest.json").exists()
+            assert (run_dir / "series.ndjson").exists()
+            assert (run_dir / "series.csv").exists()
+            rec = load_run(run_dir)
+            assert rec.manifest["scheduler"] == name
+            assert rec.manifest["config"]["num_cores"] == 4
+            assert rec.manifest["extra"]["trace"] == "auck-1"
+            assert rec.report["scheduler"] == name
+            assert rec.num_samples > 0
+            # series covers the drain phase: the last sample accounts
+            # for every departure in the frozen report
+            assert rec.series("departed")[-1] == rec.report["departed"]

@@ -26,6 +26,36 @@ class TestFinalize:
         m.busy_ns_per_core[1] = 1_000_000
         rep = finalize(m)
         assert rep.core_utilization == (0.5, 1.0)
+        assert rep.observed_ns == 1_000_000
+
+    def test_utilization_uses_drain_horizon(self):
+        """Busy time accrued while draining after the last arrival must
+        not produce utilisation > 1: the denominator is the observed
+        horizon (last departure), not the workload duration."""
+        m = SimMetrics(1, 1)
+        m.busy_ns_per_core[0] = 1_500_000   # kept busy through the drain
+        m.last_depart_ns = 1_500_000
+        rep = finalize(m)                    # duration_ns=1_000_000
+        assert rep.observed_ns == 1_500_000
+        assert rep.core_utilization == (1.0,)
+
+    def test_utilization_bounded(self):
+        """0 <= util <= 1 whenever busy intervals fit the horizon."""
+        m = SimMetrics(1, 4)
+        m.busy_ns_per_core[:] = [0, 400_000, 999_999, 1_200_000]
+        m.last_depart_ns = 1_200_000
+        rep = finalize(m)
+        assert all(0.0 <= u <= 1.0 for u in rep.core_utilization)
+
+    def test_underload_keeps_duration_horizon(self):
+        """When the run ends before the nominal duration, idle tail
+        still counts: horizon stays at duration_ns."""
+        m = SimMetrics(1, 1)
+        m.busy_ns_per_core[0] = 250_000
+        m.last_depart_ns = 500_000
+        rep = finalize(m)
+        assert rep.observed_ns == 1_000_000
+        assert rep.core_utilization == (0.25,)
 
     def test_latency_summary(self):
         m = SimMetrics(1, 1)

@@ -26,18 +26,42 @@ class TestProbe:
         with pytest.raises(ConfigError):
             QueueProbe(0)
 
-    def test_samples_each_period(self):
+    def test_samples_once_per_boundary(self):
         probe = QueueProbe(100)
         q, m = FakeQueues([1, 2]), FakeMetrics()
+        probe.maybe_sample(0, q, m)
+        probe.maybe_sample(120, q, m)
+        probe.maybe_sample(130, q, m)   # same period: no sample
+        probe.maybe_sample(200, q, m)
+        assert probe.times_ns == [0, 120, 200]
+
+    def test_no_backfill_of_skipped_boundaries(self):
+        """A jump over several boundaries must NOT attribute present
+        state to past timestamps (the old behaviour) — one sample, at
+        the actual observation time."""
+        probe = QueueProbe(100)
+        q, m = FakeQueues([3]), FakeMetrics()
+        m.dropped = 7
         probe.maybe_sample(250, q, m)
-        assert probe.times_ns == [0, 100, 200]
+        assert probe.times_ns == [250]
+        assert probe.dropped == [7]
 
     def test_no_duplicate_samples(self):
         probe = QueueProbe(100)
         q, m = FakeQueues([0]), FakeMetrics()
         probe.maybe_sample(150, q, m)
         probe.maybe_sample(160, q, m)
+        assert probe.num_samples == 1
+        probe.maybe_sample(205, q, m)
         assert probe.num_samples == 2
+
+    def test_to_records(self):
+        probe = QueueProbe(100)
+        probe.maybe_sample(50, FakeQueues([1, 2]), FakeMetrics())
+        recs = probe.to_records()
+        assert recs == [
+            {"t_ns": 50, "occupancy": [1, 2], "dropped": 0, "departed": 0}
+        ]
 
     def test_occupancy_matrix(self):
         probe = QueueProbe(10)
@@ -75,7 +99,26 @@ class TestEndToEnd:
         rep = simulate(small_workload, FCFSScheduler(), small_config, probe=probe)
         assert probe.num_samples > 5
         assert probe.occupancy_matrix().shape[1] == small_config.num_cores
+        # sample times are strictly increasing (one row per boundary)
+        assert all(np.diff(probe.times_ns) > 0)
         # cumulative counters are non-decreasing
         assert all(np.diff(probe.dropped) >= 0)
         assert all(np.diff(probe.departed) >= 0)
         assert probe.dropped[-1] <= rep.dropped
+
+    def test_probe_covers_drain_phase(self, small_workload, small_config):
+        """The series must not end at the last arrival: queued packets
+        keep departing for drain_ns and the probe keeps sampling."""
+        from repro import units
+        from repro.schedulers.fcfs import FCFSScheduler
+        from repro.sim.system import simulate
+
+        probe = QueueProbe(units.us(100))
+        rep = simulate(small_workload, FCFSScheduler(), small_config, probe=probe)
+        last_arrival = int(small_workload.arrival_ns[-1])
+        drain_times = [t for t in probe.times_ns if t > last_arrival]
+        assert drain_times, "no samples during the drain phase"
+        # the final sample sees every departure scored in the report
+        assert probe.departed[-1] == rep.departed
+        # and the drained system has empty queues at the end
+        assert probe.occupancy_matrix()[-1].sum() == 0

@@ -68,6 +68,27 @@ class TestDrops:
         det.on_drop(0, 1)
         assert not det.on_depart(0, 2)
 
+    def test_drop_advances_expected_without_ooo(self):
+        """Drops advance the per-flow expected sequence: a later
+        departure over a dropped gap is in order, and the drop itself
+        never increments the OOO counter."""
+        det = ReorderDetector()
+        det.on_drop(0, 0)
+        det.on_drop(0, 1)
+        assert not det.on_depart(0, 2)
+        assert det.out_of_order == 0
+        assert det.departed == 1
+        assert det.accounted == 3
+
+    def test_early_drop_fills_gap_for_late_departure(self):
+        det = ReorderDetector()
+        assert not det.on_depart(0, 0)
+        det.on_drop(0, 2)            # leaves seq 1 in flight
+        assert det.in_flight_gaps == 1
+        assert not det.on_depart(0, 1)  # late packet: not OOO itself
+        assert det.in_flight_gaps == 0
+        assert det.out_of_order == 0
+
 
 class TestValidation:
     def test_double_account_rejected(self):
@@ -81,6 +102,18 @@ class TestValidation:
         det.on_depart(0, 5)
         with pytest.raises(ValueError):
             det.on_depart(0, 5)
+
+    def test_duplicate_drop_rejected(self):
+        det = ReorderDetector()
+        det.on_drop(0, 0)
+        with pytest.raises(ValueError):
+            det.on_drop(0, 0)
+
+    def test_drop_after_depart_rejected(self):
+        det = ReorderDetector()
+        det.on_depart(0, 3)
+        with pytest.raises(ValueError):
+            det.on_drop(0, 3)
 
     def test_ooo_fraction(self):
         det = ReorderDetector()
@@ -141,3 +174,30 @@ class TestBruteForceEquivalence:
             else:
                 det.on_drop(flow, seq)
         assert det.out_of_order == brute_force_ooo(events)
+
+    @given(event_streams())
+    @settings(max_examples=100, deadline=None)
+    def test_gaps_drain_to_zero(self, events):
+        """After every packet of every flow is accounted (each stream is
+        a full permutation of 0..n-1 per flow), no sequence gap can
+        remain in flight."""
+        det = ReorderDetector()
+        for kind, flow, seq in events:
+            if kind == "depart":
+                det.on_depart(flow, seq)
+            else:
+                det.on_drop(flow, seq)
+        assert det.in_flight_gaps == 0
+
+
+class TestFullRunDrains:
+    def test_in_flight_gaps_zero_after_simulation(self, small_workload, small_config):
+        """End-to-end: a generously drained run accounts every packet,
+        so the detector's in-flight gap set is empty afterwards."""
+        from repro.schedulers.fcfs import FCFSScheduler
+        from repro.sim.system import NetworkProcessorSim
+
+        sim = NetworkProcessorSim(small_config, FCFSScheduler(), small_workload)
+        rep = sim.run()
+        assert rep.departed + rep.dropped == rep.generated
+        assert sim.reorder.in_flight_gaps == 0
