@@ -20,6 +20,12 @@ first *unmarks* one of its own surplus cores (free — no context switch,
 no table change); otherwise it takes the core that has been quiet
 **longest** from another service ("least utility for the victim
 service"), which the caller must then move between map tables.
+
+The allocator also tracks **offline** cores (platform faults injected
+by :mod:`repro.faults`): an offline core keeps its owner — so it can
+rejoin the same service's map table on recovery — but is excluded from
+surplus lists, donations and transfers, and never counts toward a
+donor's "last core" guard.
 """
 
 from __future__ import annotations
@@ -83,6 +89,7 @@ class CoreAllocator:
             count = base + (1 if sid < extra else 0)
             self._owner.extend([sid] * count)
         self._last_busy_ns: list[int] = [0] * num_cores
+        self._offline: set[int] = set()
         self.transfers = 0
         self.internal_reclaims = 0
         self.denied_requests = 0
@@ -98,6 +105,14 @@ class CoreAllocator:
     def cores_of(self, service_id: int) -> list[int]:
         """Cores currently owned by *service_id* (ascending id)."""
         return [c for c, s in enumerate(self._owner) if s == service_id]
+
+    def online_cores_of(self, service_id: int) -> list[int]:
+        """The service's cores that are not offline (ascending id)."""
+        return [
+            c
+            for c, s in enumerate(self._owner)
+            if s == service_id and c not in self._offline
+        ]
 
     def initial_allocation(self) -> dict[int, list[int]]:
         """Service -> cores mapping (used to seed the map tables)."""
@@ -122,7 +137,9 @@ class CoreAllocator:
 
     def is_surplus(self, core_id: int, t_ns: int) -> bool:
         """True when the core has had no real backlog for the idle
-        threshold."""
+        threshold (an offline core is never surplus)."""
+        if core_id in self._offline:
+            return False
         return t_ns - self._last_busy_ns[core_id] >= self.idle_threshold_ns
 
     def surplus_cores(self, t_ns: int, service_id: int | None = None) -> list[int]:
@@ -131,11 +148,45 @@ class CoreAllocator:
         cores = [
             (self._last_busy_ns[core], core)
             for core in range(len(self._owner))
-            if t_ns - self._last_busy_ns[core] >= self.idle_threshold_ns
+            if core not in self._offline
+            and t_ns - self._last_busy_ns[core] >= self.idle_threshold_ns
             and (service_id is None or self._owner[core] == service_id)
         ]
         cores.sort()
         return [core for _, core in cores]
+
+    # ------------------------------------------------------------------
+    # core health (driven by repro.faults via the scheduler)
+    # ------------------------------------------------------------------
+    def is_offline(self, core_id: int) -> bool:
+        return core_id in self._offline
+
+    @property
+    def offline_cores(self) -> list[int]:
+        return sorted(self._offline)
+
+    def set_offline(self, core_id: int) -> int:
+        """Take the core out of service; returns its (kept) owner.
+
+        Releasing a core twice is an injector bug, not a tolerable
+        no-op, so it raises.
+        """
+        if not 0 <= core_id < len(self._owner):
+            raise SchedulerError(f"no such core: {core_id}")
+        if core_id in self._offline:
+            raise SchedulerError(f"core {core_id} is already offline")
+        self._offline.add(core_id)
+        return self._owner[core_id]
+
+    def set_online(self, core_id: int, t_ns: int = 0) -> int:
+        """Return a previously offline core to service; it re-enters as
+        busy (touched at *t_ns*) so it is not instantly donated away.
+        Returns the owner it rejoins."""
+        if core_id not in self._offline:
+            raise SchedulerError(f"core {core_id} is not offline")
+        self._offline.discard(core_id)
+        self._last_busy_ns[core_id] = t_ns
+        return self._owner[core_id]
 
     # ------------------------------------------------------------------
     def request_core(self, service_id: int, t_ns: int) -> CoreTransfer | None:
@@ -157,12 +208,12 @@ class CoreAllocator:
             self.internal_reclaims += 1
             return CoreTransfer(core, service_id, service_id)
         everyone = self.surplus_cores(t_ns)
-        # never strip a donor's last core: each service keeps >= 1
+        # never strip a donor's last online core: each service keeps >= 1
         donors = [
             c
             for c in everyone
             if self._owner[c] != service_id
-            and len(self.cores_of(self._owner[c])) > 1
+            and len(self.online_cores_of(self._owner[c])) > 1
         ]
         if not donors:
             self.denied_requests += 1
@@ -176,10 +227,12 @@ class CoreAllocator:
 
     def force_transfer(self, core_id: int, to_service: int) -> CoreTransfer:
         """Unconditionally reassign a core (administrative/test hook)."""
+        if core_id in self._offline:
+            raise SchedulerError(f"cannot transfer offline core {core_id}")
         donor = self._owner[core_id]
         if donor == to_service:
             raise SchedulerError(f"core {core_id} already owned by {to_service}")
-        if len(self.cores_of(donor)) <= 1:
+        if len(self.online_cores_of(donor)) <= 1:
             raise SchedulerError(
                 f"cannot strip service {donor} of its last core"
             )

@@ -97,6 +97,10 @@ class LAPSScheduler(Scheduler):
         self.core_requests = 0
         self.core_requests_denied = 0
         self.stale_migrations_dropped = 0
+        self.cores_failed = 0
+        self.cores_recovered = 0
+        self.emergency_transfers = 0
+        self.unrecovered_failures = 0
 
     # ------------------------------------------------------------------
     def bind(self, loads) -> None:
@@ -216,6 +220,76 @@ class LAPSScheduler(Scheduler):
         return True
 
     # ------------------------------------------------------------------
+    # platform-fault reaction (repro.faults)
+    # ------------------------------------------------------------------
+    def on_core_down(self, core_id: int, t_ns: int) -> None:
+        """Evict a failed core from its service's map table.
+
+        The bucket shrinks through the incremental hash (Sec. III-D's
+        core-removal path), so only the dead core's flows remap — the
+        same machinery that handles voluntary donation handles the
+        involuntary loss.  Migration-table pins onto the core are
+        dropped (their flows fall back to the hash).  If the owning
+        service just lost its *only* core, a replacement is
+        commandeered from the richest other service before the shrink.
+        """
+        allocator = self.allocator
+        if allocator is None:
+            return
+        owner = allocator.set_offline(core_id)
+        self.cores_failed += 1
+        self.stale_migrations_dropped += len(self.migration.drop_core(core_id))
+        table = self.map_tables[owner]
+        if core_id not in table:
+            return
+        if table.num_cores == 1:
+            replacement = self._emergency_replacement(owner, t_ns)
+            if replacement is None:
+                # every other service is itself down to one core: the
+                # dead core stays in the table and its flows black-hole
+                # (fault drops) until the platform recovers
+                self.unrecovered_failures += 1
+                return
+            table.add_core(replacement)
+        table.remove_core(core_id)
+
+    def on_core_up(self, core_id: int, t_ns: int) -> None:
+        """Re-admit a recovered core to the service that owned it."""
+        allocator = self.allocator
+        if allocator is None:
+            return
+        owner = allocator.set_online(core_id, t_ns)
+        self.cores_recovered += 1
+        table = self.map_tables[owner]
+        if core_id not in table:
+            table.add_core(core_id)
+
+    def _emergency_replacement(self, service_id: int, t_ns: int) -> int | None:
+        """Pull one core out of the largest other service, or None when
+        nobody can spare one."""
+        donor_sid = None
+        for sid, tbl in self.map_tables.items():
+            if sid == service_id or tbl.num_cores <= 1:
+                continue
+            if donor_sid is None or tbl.num_cores > self.map_tables[donor_sid].num_cores:
+                donor_sid = sid
+        if donor_sid is None:
+            return None
+        allocator = self.allocator
+        donor_table = self.map_tables[donor_sid]
+        # the donor must keep at least one *online* core after giving
+        candidates = [c for c in donor_table.cores if not allocator.is_offline(c)]
+        if len(candidates) < 2:
+            return None
+        core = self._min_queue_core(candidates)
+        allocator.force_transfer(core, service_id)
+        donor_table.remove_core(core)
+        self.stale_migrations_dropped += len(self.migration.drop_core(core))
+        allocator.touch(core, t_ns)
+        self.emergency_transfers += 1
+        return core
+
+    # ------------------------------------------------------------------
     def cores_of(self, service_id: int) -> tuple[int, ...]:
         """Current bucket list of a service (diagnostics)."""
         return self.map_tables[service_id].cores
@@ -232,4 +306,7 @@ class LAPSScheduler(Scheduler):
             "stale_migrations_dropped": self.stale_migrations_dropped,
             "afd_promotions": self.afd.promotions,
             "migration_table_evictions": self.migration.evictions,
+            "cores_failed": self.cores_failed,
+            "cores_recovered": self.cores_recovered,
+            "emergency_transfers": self.emergency_transfers,
         }

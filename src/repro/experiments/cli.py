@@ -14,6 +14,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import ablations, fig2, fig7, fig8, fig9, timing
+from repro.faults import harness as faults_harness
 
 __all__ = ["main"]
 
@@ -24,6 +25,7 @@ _EXPERIMENTS = {
     "fig9": lambda quick, jobs: [fig9.run(quick=quick, jobs=jobs)],
     "timing": lambda quick, jobs: timing.run(quick=quick),
     "ablations": lambda quick, jobs: ablations.run(quick=quick),
+    "faults": lambda quick, jobs: [faults_harness.run(quick=quick, jobs=jobs)],
 }
 
 
@@ -53,7 +55,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="parallel worker processes for fig7/fig9 (0 = auto)",
+        help="parallel worker processes for fig7/fig9/faults (0 = auto)",
     )
     args = parser.parse_args(argv)
 

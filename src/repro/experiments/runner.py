@@ -70,6 +70,32 @@ class ExperimentResult:
             Path(path).write_text(payload)
         return payload
 
+    @classmethod
+    def from_json(cls, source: str | Path) -> "ExperimentResult":
+        """Load a result dumped by :meth:`to_json` (path or JSON text).
+
+        Round-trips everything JSON preserves; values that
+        ``to_json`` stringified via ``default=str`` (e.g. Paths in
+        ``meta``) come back as strings.
+        """
+        if isinstance(source, Path) or not source.lstrip().startswith("{"):
+            source = Path(source).read_text()
+        data = json.loads(source)
+        try:
+            result = cls(
+                experiment=data["experiment"],
+                columns=list(data["columns"]),
+                meta=dict(data.get("meta", {})),
+            )
+            rows = data["rows"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"not an ExperimentResult dump: missing {exc}"
+            ) from exc
+        for row in rows:
+            result.add(**row)
+        return result
+
     def to_run_dir(self, exp_dir: str | Path, manifest=None) -> dict:
         """Dump this result (plus provenance) as a telemetry run dir.
 

@@ -1,0 +1,59 @@
+"""Fault injection & dynamic events (:mod:`repro.faults`).
+
+Timed platform events (core failure/recovery/slowdown) and traffic
+events (surges, service flaps) injected into a running simulation, plus
+resilience metrics measuring how each scheduler degrades and recovers.
+
+Quick start::
+
+    from repro.faults import CoreFail, FaultSchedule, FaultInjector
+    from repro.sim.system import simulate
+
+    schedule = FaultSchedule([CoreFail(units.ms(4), core_id=5)])
+    report = simulate(workload, sched, cfg,
+                      injector=FaultInjector(schedule))
+
+or run the canned F1-F4 comparison: ``repro-experiments faults``.
+"""
+
+from repro.faults.events import (
+    CoreFail,
+    CoreRecover,
+    CoreSlowdown,
+    FaultEvent,
+    FaultSchedule,
+    ServiceFlap,
+    TrafficSurge,
+    core_flap,
+)
+from repro.faults.harness import FAULT_SCENARIOS, FaultScenario, run_scenario
+from repro.faults.injector import (
+    DRAIN_POLICIES,
+    FaultInjector,
+    apply_traffic_events,
+)
+from repro.faults.metrics import (
+    EventImpact,
+    ResilienceSummary,
+    compute_resilience,
+)
+
+__all__ = [
+    "FaultEvent",
+    "CoreFail",
+    "CoreRecover",
+    "CoreSlowdown",
+    "TrafficSurge",
+    "ServiceFlap",
+    "core_flap",
+    "FaultSchedule",
+    "DRAIN_POLICIES",
+    "FaultInjector",
+    "apply_traffic_events",
+    "EventImpact",
+    "ResilienceSummary",
+    "compute_resilience",
+    "FaultScenario",
+    "FAULT_SCENARIOS",
+    "run_scenario",
+]

@@ -1,0 +1,263 @@
+"""The fault-injection engine hook.
+
+A :class:`FaultInjector` binds to a
+:class:`~repro.sim.system.NetworkProcessorSim` just before the run
+starts: it pushes every platform event of its
+:class:`~repro.faults.events.FaultSchedule` into the simulator's
+completion heap as ``(core=-1, event)`` payloads.  The run loop pops
+them in strict time order, interleaved with packet completions, and
+hands each back to :meth:`FaultInjector.apply`, which mutates the live
+core state:
+
+* **CoreFail** — the in-flight packet dies with the core (its pending
+  completion is tombstoned through ``sim.killed_pkts``), the queued
+  descriptors are handled per the :data:`drain policy <DRAIN_POLICIES>`
+  (``drop``: lost; ``reassign``: re-dispatched through the scheduler at
+  the failure instant), the queue is marked down (it refuses offers and
+  reads as full through the ``LoadView``), and the scheduler's
+  ``on_core_down`` hook fires *before* any reassignment so aware
+  policies never re-select the dead core;
+* **CoreRecover** — the queue accepts again, the core restarts idle
+  with a cold i-cache, and ``on_core_up`` fires;
+* **CoreSlowdown** — the core's service-time multiplier changes for
+  packets that start from now on.
+
+Traffic events never reach the injector: arrival processes are
+pre-generated arrays, so :func:`apply_traffic_events` reshapes the
+workload *before* the run.  Everything here is deterministic — the same
+workload, scheduler seed and schedule produce byte-identical metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults.events import (
+    CoreFail,
+    CoreRecover,
+    CoreSlowdown,
+    FaultSchedule,
+    ServiceFlap,
+    TrafficSurge,
+)
+from repro.sim.workload import Workload
+
+__all__ = ["DRAIN_POLICIES", "FaultInjector", "apply_traffic_events"]
+
+#: What happens to a failing core's queued descriptors.
+DRAIN_POLICIES = ("drop", "reassign")
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule`'s platform events to a run.
+
+    One injector serves one run (like the simulator itself); construct
+    a fresh one per simulation.  Pass it as the ``injector=`` argument
+    of :func:`repro.sim.system.simulate`.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, drain_policy: str = "drop"
+    ) -> None:
+        if drain_policy not in DRAIN_POLICIES:
+            raise ConfigError(
+                f"unknown drain policy {drain_policy!r}; "
+                f"choose from {', '.join(DRAIN_POLICIES)}"
+            )
+        self.schedule = schedule
+        self.drain_policy = drain_policy
+        # live fault state (samplers read these)
+        self.cores_down: set[int] = set()
+        self.slow_cores: dict[int, float] = {}
+        # counters
+        self.events_applied = 0
+        self.packets_killed = 0
+        self.packets_drained = 0
+        self.packets_reassigned = 0
+        self.reassign_drops = 0
+        #: (label, t_ns) log of applied events, in application order
+        self.applied_log: list[tuple[str, int]] = []
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> None:
+        """Attach to a simulator about to run; schedules all events."""
+        if self._sim is not None:
+            raise SimulationError("a FaultInjector binds to one run only")
+        self.schedule.validate_platform(
+            sim.config.num_cores, len(sim.config.services)
+        )
+        self._sim = sim
+        for ev in self.schedule.platform_events():
+            sim.events.push(ev.time_ns, (-1, ev))
+
+    # ------------------------------------------------------------------
+    def apply(self, event, t_ns: int) -> None:
+        """Dispatch one platform event at its activation time."""
+        if isinstance(event, CoreFail):
+            self._apply_fail(event.core_id, t_ns)
+        elif isinstance(event, CoreRecover):
+            self._apply_recover(event.core_id, t_ns)
+        elif isinstance(event, CoreSlowdown):
+            self._apply_slowdown(event.core_id, event.factor)
+        else:
+            raise SimulationError(f"injector cannot apply {event!r}")
+        self.events_applied += 1
+        self.applied_log.append((event.label, t_ns))
+
+    # ------------------------------------------------------------------
+    def _apply_fail(self, core: int, t_ns: int) -> None:
+        sim = self._sim
+        if core in self.cores_down:
+            raise SimulationError(f"core {core} failed while already down")
+        self.cores_down.add(core)
+        # the packet in service dies with the core
+        pkt = sim.core_current_pkt[core]
+        if sim.core_busy[core] and pkt >= 0:
+            sim.killed_pkts.add(pkt)
+            self._drop_packet(pkt, t_ns)
+            self.packets_killed += 1
+            sim.core_current_pkt[core] = -1
+        sim.core_busy[core] = True  # a dead core never pulls work
+        queued = sim.queues[core].drain()
+        sim.queues.mark_down(core)
+        # notify before touching the queued packets so an aware
+        # scheduler has already evicted the core when reassignment
+        # re-consults select_core
+        sim.scheduler.on_core_down(core, t_ns)
+        if self.drain_policy == "reassign":
+            for p in queued:
+                self._reassign(p, t_ns)
+        else:
+            for p in queued:
+                self._drop_packet(p, t_ns)
+                self.packets_drained += 1
+
+    def _apply_recover(self, core: int, t_ns: int) -> None:
+        sim = self._sim
+        if core not in self.cores_down:
+            raise SimulationError(f"core {core} recovered while not down")
+        self.cores_down.discard(core)
+        sim.queues.mark_up(core)
+        sim.core_busy[core] = False
+        sim.core_current_pkt[core] = -1
+        sim.core_last_service[core] = -1  # restarted: i-cache is cold
+        sim.scheduler.on_core_up(core, t_ns)
+
+    def _apply_slowdown(self, core: int, factor: float) -> None:
+        self._sim.core_speed[core] = factor
+        if factor == 1.0:
+            self.slow_cores.pop(core, None)
+        else:
+            self.slow_cores[core] = factor
+
+    # ------------------------------------------------------------------
+    def _drop_packet(self, pkt: int, t_ns: int) -> None:
+        """Account one fault-caused loss (drop + reorder + record)."""
+        sim = self._sim
+        wl = sim.workload
+        fid = int(wl.flow_id[pkt])
+        sq = int(wl.seq[pkt])
+        m = sim.metrics
+        m.dropped += 1
+        m.dropped_per_service[int(wl.service_id[pkt])] += 1
+        m.fault_dropped += 1
+        sim.reorder.on_drop(fid, sq)
+        if sim.config.record_departures:
+            sim._drop_records.append((fid, sq, t_ns))
+
+    def _reassign(self, pkt: int, t_ns: int) -> None:
+        """Re-dispatch one drained descriptor through the scheduler."""
+        sim = self._sim
+        wl = sim.workload
+        sched = sim.scheduler
+        core = sched.select_core(
+            int(wl.flow_id[pkt]),
+            int(wl.service_id[pkt]),
+            int(wl.flow_hash[pkt]),
+            t_ns,
+        )
+        if not 0 <= core < len(sim.core_busy):
+            raise SimulationError(
+                f"{sched.name} returned core {core} during reassignment"
+            )
+        if sim.core_busy[core]:
+            q = sim.queues[core]
+            if q.is_empty:
+                sched.on_queue_busy(core, t_ns)
+            if q.offer(pkt):
+                self.packets_reassigned += 1
+            else:
+                self._drop_packet(pkt, t_ns)
+                self.reassign_drops += 1
+        else:
+            sched.on_queue_busy(core, t_ns)
+            sim._start_packet(core, pkt, t_ns)
+            self.packets_reassigned += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Injector counters for reports and samplers."""
+        return {
+            "events_applied": self.events_applied,
+            "cores_down": len(self.cores_down),
+            "cores_slow": len(self.slow_cores),
+            "packets_killed": self.packets_killed,
+            "packets_drained": self.packets_drained,
+            "packets_reassigned": self.packets_reassigned,
+            "reassign_drops": self.reassign_drops,
+        }
+
+
+# ----------------------------------------------------------------------
+# traffic-side events (workload transform)
+# ----------------------------------------------------------------------
+def apply_traffic_events(workload: Workload, schedule: FaultSchedule) -> Workload:
+    """Reshape *workload* per the schedule's traffic events.
+
+    Events apply in time order to the already-transformed arrival
+    times.  Both transforms are monotone within a service — a surge
+    compresses its window toward the window start, a flap defers outage
+    arrivals to the outage end — and the final stable re-sort keeps
+    equal-time packets in their original relative order, so per-flow
+    sequence numbers stay nondecreasing along the new arrival order and
+    the reorder accounting remains valid.
+
+    Returns *workload* unchanged when the schedule has no traffic
+    events.
+    """
+    events = schedule.traffic_events()
+    if not events:
+        return workload
+    arrival = workload.arrival_ns.astype(np.int64, copy=True)
+    service = workload.service_id
+    for ev in events:
+        if isinstance(ev, TrafficSurge):
+            t0, t1 = ev.time_ns, ev.time_ns + ev.duration_ns
+            mask = (service == ev.service_id) & (arrival >= t0) & (arrival < t1)
+            arrival[mask] = t0 + ((arrival[mask] - t0) / ev.factor).astype(
+                np.int64
+            )
+        elif isinstance(ev, ServiceFlap):
+            for start, end in ev.outage_windows():
+                mask = (
+                    (service == ev.service_id)
+                    & (arrival >= start)
+                    & (arrival < end)
+                )
+                arrival[mask] = end
+        else:  # pragma: no cover - kinds are closed over this module
+            raise ConfigError(f"unknown traffic event {ev!r}")
+    order = np.argsort(arrival, kind="stable")
+    return Workload(
+        arrival_ns=arrival[order],
+        service_id=workload.service_id[order],
+        flow_id=workload.flow_id[order],
+        size_bytes=workload.size_bytes[order],
+        flow_hash=workload.flow_hash[order],
+        seq=workload.seq[order],
+        num_flows=workload.num_flows,
+        num_services=workload.num_services,
+        duration_ns=workload.duration_ns,
+    )

@@ -1,0 +1,229 @@
+"""Resilience metrics: how a scheduler degrades and recovers.
+
+Computed offline from a run's telemetry series (a
+:class:`~repro.obs.TelemetryProbe` with the default sampler battery)
+plus the :class:`~repro.faults.events.FaultSchedule` that was injected.
+The probe's cumulative counters let every quantity be attributed to an
+event window by differencing:
+
+* **drops / out-of-order departures per window** — counter deltas over
+  ``[start, end)`` of each event's impact window;
+* **flows remapped per window** — deltas of the scheduler's own
+  placement counters (LAPS's ``migrations_installed`` and
+  ``core_transfers``, AFS's ``bucket_migrations``);
+* **time-to-recover** — the first post-event instant after which the
+  per-interval drop rate stays within ``drop_eps_per_ms`` of the
+  pre-fault baseline *and* the worst queue occupancy stays within
+  ``occ_eps`` of its pre-fault mean, for ``settle_samples`` consecutive
+  samples.  ``None`` when the run never settles again.  Only samples up
+  to ``arrivals_end_ns`` count: once the arrival process ends, drops
+  stop no matter how broken the run is, so the drain phase would
+  otherwise read as a universal (and meaningless) recovery.
+
+The pre-fault baseline is measured over the samples before the first
+scheduled event, so the same machinery works for under-load runs
+(baseline ~0 drops/ms) and overload runs (recovery means "back to the
+old drop rate", not "no drops").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faults.events import FaultSchedule
+
+__all__ = ["EventImpact", "ResilienceSummary", "compute_resilience"]
+
+#: scheduler counters that each indicate flow remapping when they move
+_REMAP_COUNTERS = (
+    "sched_migrations_installed",
+    "sched_core_transfers",
+    "sched_bucket_migrations",
+)
+
+
+@dataclass(frozen=True)
+class EventImpact:
+    """One fault event's attributable damage and recovery."""
+
+    label: str
+    start_ns: int
+    end_ns: int
+    #: packet drops inside the impact window (all causes)
+    drops: int
+    #: out-of-order departures inside the impact window
+    ooo: int
+    #: scheduler placement-counter delta inside the window
+    flows_remapped: int
+    #: ns from the event until the system settled back to baseline;
+    #: None when it never did within the observed series
+    recovery_ns: int | None
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Per-run degradation summary for one scheduler."""
+
+    scheduler: str
+    baseline_drop_per_ms: float
+    baseline_occ_max: float
+    impacts: tuple[EventImpact, ...]
+    #: cumulative totals from the first event onward
+    post_fault_drops: int
+    post_fault_ooo: int
+    flows_remapped: int
+
+    @property
+    def recovered(self) -> bool:
+        """Every event's drop rate and occupancy settled back."""
+        return all(i.recovery_ns is not None for i in self.impacts)
+
+    @property
+    def worst_recovery_ns(self) -> int | None:
+        """Slowest recovery across events (None when any never
+        recovered or there were no events)."""
+        if not self.impacts or not self.recovered:
+            return None
+        return max(i.recovery_ns for i in self.impacts)
+
+    def as_row(self) -> dict[str, object]:
+        rec = self.worst_recovery_ns
+        return {
+            "scheduler": self.scheduler,
+            "post_fault_drops": self.post_fault_drops,
+            "post_fault_ooo": self.post_fault_ooo,
+            "flows_remapped": self.flows_remapped,
+            "recovered": self.recovered,
+            "recover_ms": None if rec is None else rec / 1e6,
+        }
+
+
+def _column(records: list[dict], name: str, default=0) -> list:
+    return [r.get(name, default) for r in records]
+
+
+def _cum_at(times: list[int], values: list, t: int):
+    """Value of a cumulative series at time *t* (last sample <= t)."""
+    i = bisect_right(times, t) - 1
+    return values[i] if i >= 0 else 0
+
+
+def compute_resilience(
+    records: list[dict],
+    schedule: FaultSchedule,
+    *,
+    scheduler: str = "?",
+    drop_eps_per_ms: float | None = None,
+    occ_eps: float = 8.0,
+    settle_samples: int = 3,
+    arrivals_end_ns: int | None = None,
+) -> ResilienceSummary:
+    """Degradation and recovery for one telemetry series.
+
+    *records* are :attr:`TelemetryProbe.records` — each needs ``t_ns``,
+    ``dropped``, ``out_of_order`` and ``occ_max`` (the default sampler
+    battery provides all of them; scheduler counters are optional and
+    only feed ``flows_remapped``).
+
+    ``drop_eps_per_ms`` defaults to 1% of the mean offered rate (from
+    the cumulative ``generated`` counter when sampled, else 1 drop/ms):
+    burst-induced drop noise scales with the arrival rate, so a fixed
+    epsilon would flag recoveries at low load that it rejects at high.
+    ``arrivals_end_ns`` bounds the recovery search (pass the workload's
+    ``duration_ns``); by default the whole series is scanned.
+    """
+    if settle_samples <= 0:
+        raise ConfigError(
+            f"settle_samples must be positive, got {settle_samples}"
+        )
+    if not records:
+        return ResilienceSummary(
+            scheduler=scheduler,
+            baseline_drop_per_ms=0.0,
+            baseline_occ_max=0.0,
+            impacts=(),
+            post_fault_drops=0,
+            post_fault_ooo=0,
+            flows_remapped=0,
+        )
+    times = _column(records, "t_ns")
+    dropped = _column(records, "dropped")
+    ooo = _column(records, "out_of_order")
+    occ_max = _column(records, "occ_max")
+    remap = [
+        sum(r.get(k, 0) for k in _REMAP_COUNTERS) for r in records
+    ]
+    horizon = times[-1]
+    scan_end = (
+        bisect_right(times, arrivals_end_ns)
+        if arrivals_end_ns is not None
+        else len(times)
+    )
+    if drop_eps_per_ms is None:
+        span_ms = (times[min(scan_end, len(times)) - 1] - times[0]) / 1e6
+        offered = records[min(scan_end, len(times)) - 1].get("generated", 0)
+        drop_eps_per_ms = max(1.0, 0.01 * offered / span_ms) if span_ms > 0 else 1.0
+
+    first_event = schedule.first_event_ns()
+    if first_event is None:
+        first_event = horizon
+
+    # pre-fault baseline -----------------------------------------------
+    base_end = bisect_right(times, first_event)
+    if base_end >= 2:
+        span_ms = (times[base_end - 1] - times[0]) / 1e6
+        base_rate = (
+            (dropped[base_end - 1] - dropped[0]) / span_ms if span_ms > 0 else 0.0
+        )
+        base_occ = sum(occ_max[:base_end]) / base_end
+    else:
+        base_rate = 0.0
+        base_occ = float(occ_max[0]) if occ_max else 0.0
+
+    # per-interval drop rate (drops per ms, aligned to sample i)
+    rate = [0.0] * len(times)
+    for i in range(1, len(times)):
+        dt_ms = (times[i] - times[i - 1]) / 1e6
+        rate[i] = (dropped[i] - dropped[i - 1]) / dt_ms if dt_ms > 0 else 0.0
+
+    def recovery_after(start_ns: int) -> int | None:
+        """First settled instant after *start_ns* (see module doc)."""
+        begin = bisect_right(times, start_ns)
+        run = 0
+        for i in range(begin, scan_end):
+            calm = (
+                rate[i] <= base_rate + drop_eps_per_ms
+                and occ_max[i] <= base_occ + occ_eps
+            )
+            run = run + 1 if calm else 0
+            if run >= settle_samples:
+                settled_at = times[i - settle_samples + 1]
+                return max(settled_at - start_ns, 0)
+        return None
+
+    impacts = []
+    for ev, start, end in schedule.windows(horizon):
+        impacts.append(
+            EventImpact(
+                label=ev.label,
+                start_ns=start,
+                end_ns=end,
+                drops=_cum_at(times, dropped, end) - _cum_at(times, dropped, start),
+                ooo=_cum_at(times, ooo, end) - _cum_at(times, ooo, start),
+                flows_remapped=_cum_at(times, remap, end)
+                - _cum_at(times, remap, start),
+                recovery_ns=recovery_after(start),
+            )
+        )
+
+    return ResilienceSummary(
+        scheduler=scheduler,
+        baseline_drop_per_ms=base_rate,
+        baseline_occ_max=base_occ,
+        impacts=tuple(impacts),
+        post_fault_drops=dropped[-1] - _cum_at(times, dropped, first_event),
+        post_fault_ooo=ooo[-1] - _cum_at(times, ooo, first_event),
+        flows_remapped=remap[-1] - _cum_at(times, remap, first_event),
+    )

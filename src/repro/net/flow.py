@@ -9,7 +9,7 @@ offline analyser uses it to rank flows by size for AFD ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hashing.five_tuple import FiveTuple
 

@@ -27,6 +27,7 @@ from repro.obs.export import (
 )
 from repro.obs.manifest import RunManifest, config_snapshot
 from repro.obs.probes import (
+    FaultStateSampler,
     ProgressSampler,
     QueueOccupancySampler,
     ReorderSampler,
@@ -45,6 +46,7 @@ __all__ = [
     "ProgressSampler",
     "SchedulerSampler",
     "ReorderSampler",
+    "FaultStateSampler",
     "TelemetryProbe",
     "default_samplers",
     "RunRecord",

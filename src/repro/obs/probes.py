@@ -31,6 +31,7 @@ __all__ = [
     "ProgressSampler",
     "SchedulerSampler",
     "ReorderSampler",
+    "FaultStateSampler",
     "TelemetryProbe",
     "default_samplers",
 ]
@@ -119,6 +120,19 @@ class ReorderSampler(Sampler):
         }
 
 
+class FaultStateSampler(Sampler):
+    """Live fault state when a :class:`repro.faults.FaultInjector` is
+    attached (``fault_`` -prefixed injector counters); inert otherwise."""
+
+    name = "faults"
+
+    def sample(self, t_ns: int, view) -> dict:
+        injector = getattr(view, "injector", None)
+        if injector is None:
+            return {}
+        return {f"fault_{k}": v for k, v in injector.stats().items()}
+
+
 def default_samplers() -> list[Sampler]:
     """The standard probe battery (everything Figs. 7-9 could want)."""
     return [
@@ -126,6 +140,7 @@ def default_samplers() -> list[Sampler]:
         ProgressSampler(),
         SchedulerSampler(),
         ReorderSampler(),
+        FaultStateSampler(),
     ]
 
 

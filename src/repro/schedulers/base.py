@@ -83,6 +83,21 @@ class Scheduler(ABC):
     def on_queue_busy(self, core_id: int, t_ns: int) -> None:
         """The core's input queue went non-empty again."""
 
+    def on_core_down(self, core_id: int, t_ns: int) -> None:
+        """The core failed (see :mod:`repro.faults`).
+
+        Default: no reaction — the dead core's queue reads as
+        permanently full through the :class:`LoadView`, so load-aware
+        policies route around it only as fast as their own balancing
+        machinery notices, which is exactly the "naive" baseline
+        behaviour the resilience harness measures.  Policies with
+        explicit placement state (map tables, bucket maps) override
+        this to evict the core immediately.
+        """
+
+    def on_core_up(self, core_id: int, t_ns: int) -> None:
+        """The failed core came back and is idle again."""
+
     def stats(self) -> dict[str, float]:
         """Scheduler-internal counters for reports (override to extend)."""
         return {}

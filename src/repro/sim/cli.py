@@ -10,10 +10,15 @@ script:
 
     python -m repro.sim compare --telemetry out/   # + NDJSON time series
 
+    python -m repro.sim compare --faults chaos.json --drain-policy drop
+
 Single-service by default (IP forwarding); ``--multiservice`` runs the
 four-service edge router with the default classifier splitting the
 trace.  ``--telemetry DIR`` attaches a :class:`repro.obs.TelemetryProbe`
 to every run and dumps manifest + report + series per scheduler.
+``--faults SPEC`` injects the fault schedule serialised in SPEC (a JSON
+file, see ``docs/faults.md``) into every run and appends per-scheduler
+resilience columns to the comparison.
 """
 
 from __future__ import annotations
@@ -94,14 +99,32 @@ def _cmd_compare(args) -> int:
           f"{args.duration_ms} ms on {args.cores} cores "
           f"(target utilisation {args.utilisation:.2f})\n")
 
+    schedule = None
+    if args.faults:
+        from repro.faults import (
+            FaultInjector,
+            FaultSchedule,
+            apply_traffic_events,
+            compute_resilience,
+        )
+        schedule = FaultSchedule.from_json(Path(args.faults))
+        workload = apply_traffic_events(workload, schedule)
+        print(f"[faults] {len(schedule)} events from {args.faults} "
+              f"(drain policy: {args.drain_policy})\n")
+
     telemetry_dir = Path(args.telemetry) if args.telemetry else None
     rows = []
     for name in args.schedulers:
         probe = None
-        if telemetry_dir is not None:
+        if telemetry_dir is not None or schedule is not None:
+            # fault resilience is computed from the telemetry series,
+            # so --faults implies a probe even without --telemetry
             probe = TelemetryProbe(units.us(args.probe_period_us))
+        injector = None
+        if schedule is not None:
+            injector = FaultInjector(schedule, drain_policy=args.drain_policy)
         rep = simulate(workload, _make_sched(name, num_services, args.seed),
-                       config, probe=probe)
+                       config, probe=probe, injector=injector)
         if telemetry_dir is not None:
             manifest = RunManifest.capture(
                 config=config,
@@ -119,19 +142,31 @@ def _cmd_compare(args) -> int:
             )
             print(f"[telemetry] {name}: {probe.num_samples} samples -> "
                   f"{paths['series'].parent}")
-        rows.append([
+        row = [
             name, rep.dropped, f"{rep.drop_fraction:.2%}",
             rep.out_of_order, f"{rep.ooo_fraction:.3%}",
             f"{rep.cold_cache_fraction:.1%}",
             rep.flow_migration_events,
             f"{rep.latency_ns['p99'] / 1e3:.0f}",
-        ])
-    print(format_table(
-        ["scheduler", "dropped", "drop %", "ooo", "ooo %", "cold %",
-         "migrations", "p99 us"],
-        rows,
-        title="scheduler comparison",
-    ))
+        ]
+        if schedule is not None:
+            res = compute_resilience(
+                probe.records, schedule, scheduler=name,
+                arrivals_end_ns=duration,
+            )
+            rec = res.worst_recovery_ns
+            row += [
+                rep.fault_dropped, res.post_fault_ooo, res.flows_remapped,
+                "yes" if res.recovered else "no",
+                None if rec is None else f"{rec / 1e6:.2f}",
+            ]
+        rows.append(row)
+    headers = ["scheduler", "dropped", "drop %", "ooo", "ooo %", "cold %",
+               "migrations", "p99 us"]
+    if schedule is not None:
+        headers += ["fault drops", "post ooo", "remapped", "recovered",
+                    "recover ms"]
+    print(format_table(headers, rows, title="scheduler comparison"))
     return 0
 
 
@@ -172,6 +207,15 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p.add_argument(
         "--telemetry-csv", action="store_true",
         help="also mirror the probe series as series.csv",
+    )
+    cmp_p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject the fault schedule in SPEC (JSON file; see "
+             "docs/faults.md) and report resilience per scheduler",
+    )
+    cmp_p.add_argument(
+        "--drain-policy", choices=("drop", "reassign"), default="drop",
+        help="fate of a failing core's queued descriptors (default: drop)",
     )
     cmp_p.set_defaults(func=_cmd_compare)
 

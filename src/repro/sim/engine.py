@@ -55,6 +55,12 @@ class EventQueue:
         """Timestamp of the next event, or None when empty."""
         return self._heap[0][0] if self._heap else None
 
+    @property
+    def now_ns(self) -> int:
+        """Time of the last popped event (-1 before the first pop) —
+        the earliest instant a new event may be scheduled at."""
+        return self._last_pop_ns
+
     def pop(self) -> tuple[int, Any]:
         """Remove and return ``(time_ns, payload)`` of the next event."""
         if not self._heap:

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.util.stats import jain_fairness, summarize
 
 __all__ = ["SimMetrics", "SimReport"]
@@ -33,6 +31,7 @@ class SimMetrics:
         "busy_ns_per_core",
         "latencies_ns",
         "last_depart_ns",
+        "fault_dropped",
     )
 
     def __init__(self, num_services: int, num_cores: int) -> None:
@@ -43,6 +42,11 @@ class SimMetrics:
         self.departed = 0
         self.cold_cache_events = 0
         self.flow_migration_events = 0
+        #: subset of ``dropped`` attributable to injected faults: packets
+        #: killed in service on a failing core, descriptors drained from
+        #: its queue, and packets later offered to a dead core's queue
+        #: (see :mod:`repro.faults`)
+        self.fault_dropped = 0
         self.generated_per_service = [0] * num_services
         self.dropped_per_service = [0] * num_services
         self.busy_ns_per_core = [0] * num_cores
@@ -94,6 +98,7 @@ class SimMetrics:
             scheduler_stats=dict(scheduler_stats),
             departures=departures,
             drop_records=drop_records,
+            fault_dropped=self.fault_dropped,
         )
 
 
@@ -123,6 +128,9 @@ class SimReport:
     departures: tuple[tuple[int, int, int], ...] = ()
     #: queue-overflow losses (flow_id, seq, drop_ns), same gate.
     drop_records: tuple[tuple[int, int, int], ...] = ()
+    #: subset of ``dropped`` attributable to injected faults (0 when the
+    #: run had no :class:`~repro.faults.FaultInjector` attached).
+    fault_dropped: int = 0
 
     # ------------------------------------------------------------------
     @property

@@ -5,6 +5,14 @@ Each core owns a FIFO of packet descriptors bounded at
 is lost when it is assigned to a queue which is already full"
 (Sec. IV-C2).  :class:`QueueBank` also implements the scheduler-facing
 :class:`~repro.schedulers.base.LoadView` protocol.
+
+A queue can be taken **down** (its core failed — see
+:mod:`repro.faults`): a down queue refuses every ``offer`` and reports
+its occupancy as the full capacity through the :class:`LoadView`.  That
+models the backpressure a dead core's never-draining descriptor ring
+asserts in hardware — load-aware schedulers that never heard about the
+failure still steer away from it because it looks permanently full,
+while its real FIFO stays empty.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ __all__ = ["BoundedQueue", "QueueBank"]
 class BoundedQueue:
     """A FIFO of packet indices with a hard capacity."""
 
-    __slots__ = ("capacity", "_items", "drops", "peak")
+    __slots__ = ("capacity", "_items", "drops", "peak", "down")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -28,6 +36,8 @@ class BoundedQueue:
         self._items: deque[int] = deque()
         self.drops = 0
         self.peak = 0
+        #: the owning core is dead; offers are refused (see module doc)
+        self.down = False
 
     def __len__(self) -> int:
         return len(self._items)
@@ -41,8 +51,8 @@ class BoundedQueue:
         return not self._items
 
     def offer(self, item: int) -> bool:
-        """Enqueue *item*; False (and a drop) when full."""
-        if len(self._items) >= self.capacity:
+        """Enqueue *item*; False (and a drop) when full or down."""
+        if self.down or len(self._items) >= self.capacity:
             self.drops += 1
             return False
         self._items.append(item)
@@ -53,6 +63,12 @@ class BoundedQueue:
     def take(self) -> int:
         """Dequeue the oldest item (raises IndexError when empty)."""
         return self._items.popleft()
+
+    def drain(self) -> list[int]:
+        """Remove and return all queued items, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
 
     def clear(self) -> None:
         self._items.clear()
@@ -79,7 +95,24 @@ class QueueBank:
         return self._capacity
 
     def occupancy(self, core_id: int) -> int:
-        return len(self._queues[core_id])
+        q = self._queues[core_id]
+        return self._capacity if q.down else len(q)
+
+    # core health (driven by repro.faults) -------------------------------
+    def mark_down(self, core_id: int) -> None:
+        """The core died: refuse offers, report the queue as full."""
+        self._queues[core_id].down = True
+
+    def mark_up(self, core_id: int) -> None:
+        """The core recovered: accept offers again."""
+        self._queues[core_id].down = False
+
+    def is_down(self, core_id: int) -> bool:
+        return self._queues[core_id].down
+
+    def cores_down(self) -> list[int]:
+        """Ids of cores currently marked down (ascending)."""
+        return [c for c, q in enumerate(self._queues) if q.down]
 
     # direct access ------------------------------------------------------
     def __getitem__(self, core_id: int) -> BoundedQueue:
@@ -92,4 +125,6 @@ class QueueBank:
         return sum(q.drops for q in self._queues)
 
     def occupancies(self) -> list[int]:
+        """Raw FIFO depths per core (a down core reads 0 here; the
+        ``LoadView`` :meth:`occupancy` is what reports it as full)."""
         return [len(q) for q in self._queues]

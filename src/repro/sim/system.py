@@ -18,6 +18,16 @@ events are core completions.  Per arriving packet:
 After the last arrival the simulator drains for ``config.drain_ns`` so
 queued packets depart and get scored for reordering.
 
+Dynamic platform events (core failure/recovery/slowdown — see
+:mod:`repro.faults`) ride the same completion heap: a
+:class:`~repro.faults.FaultInjector` pushes its timed events as
+``(core=-1, event)`` payloads at bind time, and ``complete_until``
+dispatches them back to the injector in strict time order, interleaved
+with completions.  The injector mutates the live core state the run
+loop exposes on the instance (``core_busy``, ``core_speed``,
+``core_current_pkt``, the queue bank's down marks) and may kill the
+in-flight packet of a failing core by putting it in ``killed_pkts``.
+
 The hot loop indexes plain numpy-backed lists and dicts; per-packet
 Python objects are never created.
 """
@@ -47,6 +57,7 @@ class NetworkProcessorSim:
         scheduler: Scheduler,
         workload: Workload,
         probe=None,
+        injector=None,
     ) -> None:
         if workload.num_services > len(config.services):
             raise ConfigError(
@@ -61,9 +72,20 @@ class NetworkProcessorSim:
         self.metrics = SimMetrics(len(config.services), config.num_cores)
         #: optional :class:`repro.sim.probes.QueueProbe`-like sampler
         self.probe = probe
+        #: optional :class:`repro.faults.FaultInjector` (dynamic events)
+        self.injector = injector
         #: completion events popped by the last run (profiling signal)
         self.events_popped = 0
         self._ran = False
+        # live run state, exposed for the injector (set up in run())
+        self.events: EventQueue | None = None
+        self.core_busy: list[bool] = []
+        self.core_speed: list[float] = []
+        self.core_current_pkt: list[int] = []
+        self.core_last_service: list[int] = []
+        self.killed_pkts: set[int] = set()
+        self._start_packet = None
+        self._drop_records: list[tuple[int, int, int]] = []
 
     # ------------------------------------------------------------------
     def run(self) -> SimReport:
@@ -93,6 +115,9 @@ class NetworkProcessorSim:
         n_cores = cfg.num_cores
         core_busy = [False] * n_cores  # serving a packet right now
         core_last_service = [-1] * n_cores  # i-cache content
+        core_speed = [1.0] * n_cores  # service-time multiplier (faults)
+        core_current_pkt = [-1] * n_cores  # in-flight packet per core
+        killed_pkts: set[int] = set()  # in-flight kills by the injector
         flow_last_core = np.full(wl.num_flows, -1, dtype=np.int32)
         flow_migrated = np.zeros(wl.num_flows, dtype=bool)
 
@@ -129,13 +154,25 @@ class NetworkProcessorSim:
                     t_proc += cc_pen
                     metrics.cold_cache_events += 1
                 core_last_service[core] = sid
+            speed = core_speed[core]
+            if speed != 1.0:  # degraded core (repro.faults CoreSlowdown)
+                t_proc = int(round(t_proc * speed))
             core_busy[core] = True
+            core_current_pkt[core] = pkt
             metrics.busy_ns_per_core[core] += t_proc
             events.push(t_ns + t_proc, (core, pkt))
+
+        injector = self.injector
 
         def complete_until(horizon_ns: int) -> None:
             """Drain completion events with time <= horizon."""
             for t_done, (core, pkt) in events.pop_until(horizon_ns):
+                if core < 0:  # timed fault event, not a completion
+                    injector.apply(pkt, t_done)
+                    continue
+                if killed_pkts and pkt in killed_pkts:
+                    killed_pkts.discard(pkt)  # died with its core
+                    continue
                 metrics.departed += 1
                 metrics.last_depart_ns = t_done  # pops are time-ordered
                 reorder.on_depart(int(flow[pkt]), int(seq[pkt]))
@@ -146,9 +183,23 @@ class NetworkProcessorSim:
                 q = queues[core]
                 if q.is_empty:
                     core_busy[core] = False
+                    core_current_pkt[core] = -1
                     sched.on_queue_empty(core, t_done)
                 else:
                     start_packet(core, q.take(), t_done)
+
+        # expose live state for the injector, then let it schedule its
+        # timed events into the (still empty) heap
+        self.events = events
+        self.core_busy = core_busy
+        self.core_speed = core_speed
+        self.core_current_pkt = core_current_pkt
+        self.core_last_service = core_last_service
+        self.killed_pkts = killed_pkts
+        self._start_packet = start_packet
+        self._drop_records = drop_records
+        if injector is not None:
+            injector.bind(self)
 
         probe = self.probe
         if probe is not None and hasattr(probe, "bind"):
@@ -173,6 +224,8 @@ class NetworkProcessorSim:
                 if not q.offer(i):
                     metrics.dropped += 1
                     metrics.dropped_per_service[sid] += 1
+                    if q.down:  # black-holed: the target core is dead
+                        metrics.fault_dropped += 1
                     reorder.on_drop(int(flow[i]), int(seq[i]))
                     if record_dep:
                         drop_records.append((int(flow[i]), int(seq[i]), t))
@@ -191,7 +244,13 @@ class NetworkProcessorSim:
         if probe is not None and cfg.drain_ns > 0:
             step = getattr(probe, "period_ns", 0) or cfg.drain_ns
             t = last_t + step
+            # stop early when the next heap event is past the drain
+            # bound: nothing can change before drain_end, so further
+            # boundaries would only repeat a frozen state
             while t < drain_end and events:
+                nxt = events.peek_time()
+                if nxt is not None and nxt > drain_end:
+                    break
                 complete_until(t)
                 probe.maybe_sample(t, queues, metrics)
                 t += step
@@ -219,8 +278,10 @@ def simulate(
     scheduler: Scheduler,
     config: SimConfig | None = None,
     probe=None,
+    injector=None,
 ) -> SimReport:
     """Convenience one-shot: run *scheduler* on *workload*."""
     return NetworkProcessorSim(
-        config or SimConfig(), scheduler, workload, probe=probe
+        config or SimConfig(), scheduler, workload, probe=probe,
+        injector=injector,
     ).run()

@@ -22,8 +22,6 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
 from repro.errors import TraceFormatError
 from repro.hashing.five_tuple import FiveTuple
 from repro.trace.trace import Trace

@@ -20,13 +20,66 @@ from typing import Callable, Iterable, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_jobs"]
+__all__ = ["parallel_map", "default_jobs", "ParallelTaskError"]
+
+
+class ParallelTaskError(RuntimeError):
+    """A pool worker raised: carries *which* item failed.
+
+    ``ProcessPoolExecutor`` re-raises worker exceptions with a stack
+    that ends inside the futures machinery, losing the failing task's
+    identity; this wrapper keeps the offending item (its repr) and the
+    original error's type and message in its own message, so the
+    failing scenario is identifiable from the parent-side traceback.
+    """
+
+    def __init__(self, message: str, item_repr: str = "?") -> None:
+        super().__init__(message)
+        self.item_repr = item_repr
+
+    def __reduce__(self):
+        # exceptions cross the process boundary by pickle; the default
+        # reduce re-calls __init__ with args only, dropping item_repr
+        return (type(self), (self.args[0], self.item_repr))
+
+    @classmethod
+    def wrap(cls, item, cause: BaseException) -> "ParallelTaskError":
+        return cls(
+            f"parallel task failed for item {item!r}: "
+            f"{type(cause).__name__}: {cause}",
+            item_repr=repr(item),
+        )
 
 
 def default_jobs() -> int:
     """A sensible worker count: the CPU count, capped at 8 (the
-    harnesses rarely have more than 8 independent units)."""
+    harnesses rarely have more than 8 independent units).
+
+    The ``REPRO_JOBS`` environment variable overrides the heuristic
+    (any integer >= 1), so CI and batch drivers can pin the pool size
+    without threading a flag through every harness.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+        if jobs < 1:
+            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
     return min(os.cpu_count() or 1, 8)
+
+
+def _invoke(packed: tuple) -> R:
+    """Run one task in a worker, labelling any failure with its item."""
+    fn, item = packed
+    try:
+        return fn(item)
+    except Exception as exc:
+        raise ParallelTaskError.wrap(item, exc) from exc
 
 
 def parallel_map(
@@ -37,7 +90,10 @@ def parallel_map(
     """``[fn(x) for x in items]``, optionally across processes.
 
     Order is preserved.  ``jobs=1`` runs inline; ``jobs=0`` means
-    "auto" (:func:`default_jobs`).
+    "auto" (:func:`default_jobs`).  A task that raises in a pool worker
+    surfaces as :class:`ParallelTaskError` naming the failing item (the
+    inline path raises the original exception unwrapped — its traceback
+    already points at the task).
     """
     items = list(items)
     if jobs < 0:
@@ -48,4 +104,4 @@ def parallel_map(
         return [fn(x) for x in items]
     workers = min(jobs, len(items))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(_invoke, [(fn, x) for x in items]))

@@ -127,6 +127,102 @@ class TestRequestCore:
         assert not alloc.is_surplus(transfer.core_id, IDLE + 1)
 
 
+class TestRequestCoreEdgeCases:
+    def test_no_surplus_anywhere_denied(self):
+        alloc = make()
+        # fresh allocator at t=0: nothing has been quiet for idle_th yet
+        assert alloc.request_core(0, IDLE - 1) is None
+        assert alloc.denied_requests == 1
+
+    def test_denied_when_only_surplus_is_offline(self):
+        alloc = make(8, 4)
+        for core in range(alloc.num_cores):
+            if alloc.owner_of(core) in (0, 1):
+                alloc.touch(core, IDLE)
+        # services 2 and 3 are quiet but down to one online core each
+        alloc.set_offline(alloc.cores_of(2)[0])
+        alloc.set_offline(alloc.cores_of(3)[0])
+        assert alloc.request_core(0, IDLE) is None
+
+    def test_offline_core_never_donated(self):
+        alloc = make(8, 4)
+        for core in alloc.cores_of(0):
+            alloc.touch(core, IDLE)
+        dead = alloc.cores_of(1)[0]
+        alloc.set_offline(dead)
+        granted = set()
+        while (t := alloc.request_core(0, IDLE)) is not None:
+            granted.add(t.core_id)
+        assert granted and dead not in granted
+
+
+class TestOfflineLifecycle:
+    def test_release_keeps_owner(self):
+        alloc = make(8, 4)
+        core = alloc.cores_of(2)[0]
+        assert alloc.set_offline(core) == 2
+        assert alloc.owner_of(core) == 2
+        assert alloc.is_offline(core)
+        assert core not in alloc.online_cores_of(2)
+
+    def test_release_with_backlog_still_excluded_from_surplus(self):
+        alloc = make()
+        core = alloc.cores_of(1)[0]
+        # the core fails with packets still queued (real backlog noted)
+        alloc.note_load(core, occupancy=10, t_ns=100)
+        alloc.set_offline(core)
+        assert not alloc.is_surplus(core, 100 + 2 * IDLE)
+        assert core not in alloc.surplus_cores(100 + 2 * IDLE)
+
+    def test_double_release_raises(self):
+        alloc = make()
+        alloc.set_offline(3)
+        with pytest.raises(SchedulerError):
+            alloc.set_offline(3)
+
+    def test_release_unknown_core_raises(self):
+        alloc = make(8, 4)
+        with pytest.raises(SchedulerError):
+            alloc.set_offline(8)
+
+    def test_online_without_release_raises(self):
+        alloc = make()
+        with pytest.raises(SchedulerError):
+            alloc.set_online(0)
+
+    def test_recovered_core_rejoins_owner_as_busy(self):
+        alloc = make()
+        core = alloc.cores_of(1)[0]
+        alloc.set_offline(core)
+        assert alloc.set_online(core, t_ns=5000) == 1
+        assert not alloc.is_offline(core)
+        # touched on return: not surplus until a fresh idle period
+        assert not alloc.is_surplus(core, 5000 + IDLE - 1)
+        assert alloc.is_surplus(core, 5000 + IDLE)
+
+    def test_offline_cores_sorted(self):
+        alloc = make()
+        alloc.set_offline(5)
+        alloc.set_offline(2)
+        assert alloc.offline_cores == [2, 5]
+
+    def test_force_transfer_offline_rejected(self):
+        alloc = make()
+        core = alloc.cores_of(1)[0]
+        alloc.set_offline(core)
+        with pytest.raises(SchedulerError):
+            alloc.force_transfer(core, 0)
+
+    def test_force_transfer_respects_online_last_core(self):
+        alloc = make(8, 4)
+        a, b = alloc.cores_of(1)
+        alloc.set_offline(a)
+        # b is service 1's last *online* core: stripping it would leave
+        # the service with only a dead core
+        with pytest.raises(SchedulerError):
+            alloc.force_transfer(b, 0)
+
+
 class TestForceTransfer:
     def test_force(self):
         alloc = make()

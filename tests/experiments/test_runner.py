@@ -45,6 +45,30 @@ class TestExperimentResult:
         assert loaded["rows"] == [{"a": 1}]
         assert loaded["meta"] == {"k": "v"}
 
+    def test_from_json_inverts_to_json(self, tmp_path):
+        res = ExperimentResult(
+            "Fig. X", columns=["a", "b"], meta={"quick": True, "seed": 3}
+        )
+        res.add(a=1, b=0.25)
+        res.add(a=2, b=None)
+        path = tmp_path / "r.json"
+        res.to_json(path)
+        loaded = ExperimentResult.from_json(path)
+        assert loaded == res
+
+    def test_from_json_text(self):
+        res = ExperimentResult("x", columns=["a"])
+        res.add(a=1)
+        assert ExperimentResult.from_json(res.to_json()) == res
+
+    def test_from_json_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            ExperimentResult.from_json('{"rows": []}')
+
+    def test_from_json_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ExperimentResult.from_json(tmp_path / "nope.json")
+
 
 class TestScenarioAssembly:
     def test_config_defaults(self):

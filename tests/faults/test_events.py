@@ -1,0 +1,189 @@
+"""Tests for declarative fault events and schedules."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.faults.events import (
+    CoreFail,
+    CoreRecover,
+    CoreSlowdown,
+    FaultSchedule,
+    ServiceFlap,
+    TrafficSurge,
+    core_flap,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreFail(-1, core_id=0)
+
+    def test_slowdown_factor_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreSlowdown(0, core_id=0, factor=0.5)
+
+    def test_surge_factor_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            TrafficSurge(0, service_id=0, factor=1.0, duration_ns=100)
+
+    def test_flap_duty_bounds(self):
+        with pytest.raises(ConfigError):
+            ServiceFlap(0, service_id=0, duty=1.0)
+
+    def test_windowed_slowdown_expands_to_apply_and_restore(self):
+        ev = CoreSlowdown(100, core_id=2, factor=3.0, duration_ns=50)
+        apply, restore = ev.expand()
+        assert apply.factor == 3.0 and apply.time_ns == 100
+        assert restore.factor == 1.0 and restore.time_ns == 150
+
+    def test_open_slowdown_expands_to_itself(self):
+        ev = CoreSlowdown(100, core_id=2, factor=3.0)
+        assert ev.expand() == [ev]
+
+
+class TestScheduleConstruction:
+    def test_events_time_sorted(self):
+        s = FaultSchedule([
+            CoreSlowdown(500, core_id=1, factor=2.0),
+            CoreFail(100, core_id=0),
+            CoreRecover(300, core_id=0),
+        ])
+        assert [ev.time_ns for ev in s] == [100, 300, 500]
+
+    def test_recover_without_fail_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([CoreRecover(100, core_id=0)])
+
+    def test_double_fail_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([CoreFail(100, core_id=0), CoreFail(200, core_id=0)])
+
+    def test_fail_recover_fail_allowed(self):
+        s = FaultSchedule(core_flap(0, 100, down_ns=50, up_ns=50, cycles=3))
+        assert len(s) == 6
+
+    def test_non_event_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule(["not an event"])
+
+    def test_platform_traffic_split(self):
+        s = FaultSchedule([
+            CoreFail(100, core_id=0),
+            TrafficSurge(200, service_id=1, factor=2.0, duration_ns=50),
+        ])
+        assert len(s.platform_events()) == 1
+        assert len(s.traffic_events()) == 1
+
+    def test_platform_events_expand_windowed_slowdowns(self):
+        s = FaultSchedule([CoreSlowdown(100, core_id=0, factor=2.0,
+                                        duration_ns=50)])
+        times = [ev.time_ns for ev in s.platform_events()]
+        assert times == [100, 150]
+
+    def test_first_event_ns(self):
+        assert FaultSchedule().first_event_ns() is None
+        s = FaultSchedule([CoreFail(700, core_id=0)])
+        assert s.first_event_ns() == 700
+
+
+class TestWindows:
+    def test_fail_window_closes_at_recover(self):
+        s = FaultSchedule([
+            CoreFail(100, core_id=0),
+            CoreRecover(400, core_id=0),
+        ])
+        windows = s.windows(horizon_ns=1000)
+        assert len(windows) == 1  # the recover is folded into the fail
+        ev, start, end = windows[0]
+        assert isinstance(ev, CoreFail)
+        assert (start, end) == (100, 400)
+
+    def test_unrecovered_fail_extends_to_horizon(self):
+        s = FaultSchedule([CoreFail(100, core_id=0)])
+        [(ev, start, end)] = s.windows(horizon_ns=1000)
+        assert (start, end) == (100, 1000)
+
+    def test_windows_clip_to_horizon(self):
+        s = FaultSchedule([TrafficSurge(100, service_id=0, factor=2.0,
+                                        duration_ns=10_000)])
+        [(_, start, end)] = s.windows(horizon_ns=1000)
+        assert end == 1000
+
+
+class TestPlatformValidation:
+    def test_core_out_of_range(self):
+        s = FaultSchedule([CoreFail(0, core_id=9)])
+        with pytest.raises(ConfigError):
+            s.validate_platform(num_cores=8, num_services=4)
+
+    def test_service_out_of_range(self):
+        s = FaultSchedule([TrafficSurge(0, service_id=4, factor=2.0,
+                                        duration_ns=10)])
+        with pytest.raises(ConfigError):
+            s.validate_platform(num_cores=8, num_services=4)
+
+    def test_failing_every_core_rejected(self):
+        s = FaultSchedule([CoreFail(i, core_id=i) for i in range(2)])
+        with pytest.raises(ConfigError):
+            s.validate_platform(num_cores=2, num_services=1)
+
+    def test_staggered_failures_with_recovery_ok(self):
+        s = FaultSchedule([
+            CoreFail(0, core_id=0),
+            CoreRecover(10, core_id=0),
+            CoreFail(20, core_id=1),
+        ])
+        s.validate_platform(num_cores=2, num_services=1)
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        s = FaultSchedule([
+            CoreFail(100, core_id=3),
+            CoreRecover(500, core_id=3),
+            CoreSlowdown(200, core_id=1, factor=2.5, duration_ns=300),
+            TrafficSurge(50, service_id=2, factor=3.0, duration_ns=400),
+            ServiceFlap(75, service_id=0, period_ns=100, cycles=2, duty=0.3),
+        ])
+        assert FaultSchedule.from_json(s.to_json()).events == s.events
+
+    def test_from_json_path(self, tmp_path):
+        s = FaultSchedule([CoreFail(100, core_id=0)])
+        path = tmp_path / "spec.json"
+        s.to_json(path)
+        assert FaultSchedule.from_json(path).events == s.events
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_json('{"events": [{"type": "meteor"}]}')
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_schedule(self):
+        kw = dict(duration_ns=units.ms(10), num_cores=16, num_services=4)
+        a = FaultSchedule.random(42, **kw)
+        b = FaultSchedule.random(42, **kw)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        kw = dict(duration_ns=units.ms(10), num_cores=16, num_services=4,
+                  num_events=8)
+        assert (FaultSchedule.random(1, **kw).events
+                != FaultSchedule.random(2, **kw).events)
+
+    def test_random_schedules_are_platform_valid(self):
+        for seed in range(10):
+            s = FaultSchedule.random(
+                seed, duration_ns=units.ms(10), num_cores=8, num_services=4,
+                num_events=10,
+            )
+            s.validate_platform(num_cores=8, num_services=4)
+
+    def test_event_times_inside_run(self):
+        s = FaultSchedule.random(
+            7, duration_ns=units.ms(10), num_cores=8, num_services=4,
+            num_events=12,
+        )
+        assert all(0 <= ev.time_ns <= units.ms(10) for ev in s)

@@ -1,0 +1,74 @@
+"""Acceptance tests for the F1-F4 fault scenarios (quick sizes)."""
+
+import pytest
+
+from repro.faults.harness import FAULT_SCENARIOS, run, run_scenario
+
+
+@pytest.fixture(scope="module")
+def f1_results():
+    """F1 (single core loss under-load) once, shared across tests."""
+    return run_scenario(FAULT_SCENARIOS["F1"], quick=True, seed=0)
+
+
+class TestScenarioCatalogue:
+    def test_expected_scenarios(self):
+        assert list(FAULT_SCENARIOS) == ["F1", "F2", "F3", "F4"]
+
+    def test_schedules_validate_on_the_paper_platform(self):
+        for sc in FAULT_SCENARIOS.values():
+            sc.schedule(10_000_000).validate_platform(16, 4)
+
+
+class TestF1Acceptance:
+    """The issue's headline criterion: after a single core loss under
+    load, LAPS returns to its pre-fault drop rate and reorders strictly
+    less than AFS while doing so."""
+
+    def test_laps_recovers(self, f1_results):
+        _, res = f1_results["laps"]
+        assert res.recovered
+        assert res.worst_recovery_ns is not None
+
+    def test_laps_fewer_post_fault_ooo_than_afs(self, f1_results):
+        _, laps = f1_results["laps"]
+        _, afs = f1_results["afs"]
+        assert laps.post_fault_ooo < afs.post_fault_ooo
+
+    def test_laps_remaps_the_dead_cores_flows(self, f1_results):
+        rep, res = f1_results["laps"]
+        assert res.flows_remapped > 0
+        assert rep.scheduler_stats["cores_failed"] == 1
+
+    def test_naive_schedulers_degrade_more(self, f1_results):
+        laps_rep, _ = f1_results["laps"]
+        for name in ("fcfs", "afs"):
+            rep, _ = f1_results[name]
+            assert rep.dropped > laps_rep.dropped
+
+    def test_fault_drops_attributed(self, f1_results):
+        for name, (rep, _) in f1_results.items():
+            assert 0 < rep.fault_dropped <= rep.dropped
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule_same_metrics(self):
+        a = run_scenario(FAULT_SCENARIOS["F1"], quick=True, seed=0,
+                         schedulers=("laps",))
+        b = run_scenario(FAULT_SCENARIOS["F1"], quick=True, seed=0,
+                         schedulers=("laps",))
+        rep_a, res_a = a["laps"]
+        rep_b, res_b = b["laps"]
+        assert (rep_a.dropped, rep_a.fault_dropped, rep_a.out_of_order) == \
+               (rep_b.dropped, rep_b.fault_dropped, rep_b.out_of_order)
+        assert res_a == res_b
+
+
+class TestRunTable:
+    def test_run_single_scenario_table(self):
+        result = run(quick=True, scenarios=("F1",))
+        assert len(result.rows) == 3
+        assert set(result.column("scheduler")) == {"fcfs", "afs", "laps"}
+        laps_row = next(r for r in result.rows if r["scheduler"] == "laps")
+        assert laps_row["recovered"] is True
+        assert laps_row["recover_ms"] is not None

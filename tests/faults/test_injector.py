@@ -1,0 +1,313 @@
+"""Tests for the fault-injection engine hook (hand-computed runs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults.events import (
+    CoreFail,
+    CoreRecover,
+    CoreSlowdown,
+    FaultSchedule,
+    ServiceFlap,
+    TrafficSurge,
+)
+from repro.faults.injector import FaultInjector, apply_traffic_events
+from repro.net.service import Service, ServiceSet
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.hash_static import StaticHashScheduler
+from repro.sim.config import SimConfig
+from repro.sim.system import simulate
+from repro.sim.workload import Workload
+
+
+def manual_workload(arrivals, flows, services=None, num_services=1):
+    """Tiny hand-built workload; flow_hash == flow_id."""
+    n = len(arrivals)
+    flows = np.asarray(flows, dtype=np.int64)
+    num_flows = int(flows.max()) + 1 if n else 1
+    seq = np.zeros(n, dtype=np.int64)
+    seen = {}
+    for i, f in enumerate(flows):
+        seq[i] = seen.get(int(f), 0)
+        seen[int(f)] = seq[i] + 1
+    return Workload(
+        arrival_ns=np.asarray(arrivals, dtype=np.int64),
+        service_id=np.asarray(services or [0] * n, dtype=np.int32),
+        flow_id=flows,
+        size_bytes=np.asarray([64] * n, dtype=np.int32),
+        flow_hash=flows.copy(),
+        seq=seq,
+        num_flows=num_flows,
+        num_services=num_services,
+        duration_ns=int(arrivals[-1]) + 1 if n else 1,
+    )
+
+
+def two_core_config(**kw):
+    svc = ServiceSet([Service(0, "s", 1000)])  # 1 us per packet
+    kw.setdefault("num_cores", 2)
+    kw.setdefault("services", svc)
+    return SimConfig(**kw)
+
+
+def run(workload, schedule, scheduler=None, drain_policy="drop", **cfg_kw):
+    inj = FaultInjector(schedule, drain_policy=drain_policy)
+    rep = simulate(
+        workload,
+        scheduler or StaticHashScheduler(),
+        two_core_config(**cfg_kw),
+        injector=inj,
+    )
+    return rep, inj
+
+
+class TestConstruction:
+    def test_unknown_drain_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultSchedule(), drain_policy="teleport")
+
+    def test_binds_once(self):
+        wl = manual_workload([0], [0])
+        schedule = FaultSchedule([CoreFail(100, core_id=1)])
+        inj = FaultInjector(schedule)
+        simulate(wl, StaticHashScheduler(), two_core_config(), injector=inj)
+        with pytest.raises(SimulationError):
+            simulate(wl, StaticHashScheduler(), two_core_config(),
+                     injector=inj)
+
+    def test_platform_validated_at_bind(self):
+        wl = manual_workload([0], [0])
+        schedule = FaultSchedule([CoreFail(100, core_id=7)])
+        with pytest.raises(ConfigError):
+            simulate(wl, StaticHashScheduler(), two_core_config(),
+                     injector=FaultInjector(schedule))
+
+
+class TestCoreFail:
+    def test_in_flight_packet_dies_with_core(self):
+        # flow 0 hashes to core 0 and is in service when the core dies
+        wl = manual_workload([0], [0])
+        rep, inj = run(wl, FaultSchedule([CoreFail(500, core_id=0)]))
+        assert rep.departed == 0
+        assert rep.dropped == 1
+        assert rep.fault_dropped == 1
+        assert inj.packets_killed == 1
+
+    def test_dead_core_black_holes_arrivals(self):
+        # arrivals to core 0 after its death drop; core 1 keeps serving
+        wl = manual_workload([0, 1000, 1000], [0, 0, 1])
+        rep, inj = run(wl, FaultSchedule([CoreFail(500, core_id=0)]))
+        assert rep.departed == 1  # only flow 1 on core 1
+        assert rep.dropped == 2
+        assert rep.fault_dropped == 2
+
+    def test_queued_descriptors_drop_policy(self):
+        # three packets pile onto core 0, then it dies
+        wl = manual_workload([0, 0, 0], [0, 0, 0])
+        rep, inj = run(wl, FaultSchedule([CoreFail(500, core_id=0)]))
+        assert rep.departed == 0
+        assert rep.dropped == 3
+        assert inj.packets_killed == 1
+        assert inj.packets_drained == 2
+
+    def test_queued_descriptors_reassign_policy(self):
+        # JSQ spreads the burst: core 0 holds one in service + one
+        # queued, core 1 one in service.  The queued packet survives by
+        # re-dispatch to core 1.
+        wl = manual_workload([0, 0, 0], [0, 0, 0])
+        rep, inj = run(
+            wl, FaultSchedule([CoreFail(500, core_id=0)]),
+            scheduler=FCFSScheduler(), drain_policy="reassign",
+        )
+        assert inj.packets_killed == 1  # the in-flight one still dies
+        assert inj.packets_reassigned == 1
+        assert rep.departed == 2
+        assert rep.dropped == 1
+
+    def test_reassign_through_naive_scheduler_can_redrop(self):
+        # static hashing re-selects the dead core, so "reassigned"
+        # descriptors bounce off the downed queue and drop
+        wl = manual_workload([0, 0, 0], [0, 0, 0])
+        rep, inj = run(
+            wl, FaultSchedule([CoreFail(500, core_id=0)]),
+            drain_policy="reassign",
+        )
+        assert inj.packets_reassigned == 0
+        assert inj.reassign_drops == 2
+        assert rep.dropped == 3
+
+    def test_double_fail_without_recover_is_schedule_error(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([
+                CoreFail(100, core_id=0), CoreFail(200, core_id=0),
+            ])
+
+
+class TestCoreRecover:
+    def test_recovered_core_serves_again(self):
+        wl = manual_workload([0, 10_000], [0, 0])
+        schedule = FaultSchedule([
+            CoreFail(2000, core_id=0),
+            CoreRecover(5000, core_id=0),
+        ])
+        rep, inj = run(wl, schedule)
+        # first packet departed before the fail; second arrives after
+        # recovery and is served normally
+        assert rep.departed == 2
+        assert rep.dropped == 0
+        assert inj.events_applied == 2
+        assert inj.cores_down == set()
+
+    def test_recovered_core_restarts_cold(self):
+        # two services; core 0 runs service 0, dies, recovers, then runs
+        # service 0 again -> the i-cache was wiped, so no cc penalty is
+        # *avoided* by history: the first packet after recovery loads the
+        # image fresh (no penalty counted because last_service is -1)
+        svc = ServiceSet([Service(0, "a", 1000), Service(1, "b", 1000)])
+        wl = manual_workload([0, 10_000], [0, 0], services=[0, 0],
+                             num_services=2)
+        schedule = FaultSchedule([
+            CoreFail(2000, core_id=0), CoreRecover(5000, core_id=0),
+        ])
+        rep, _ = run(wl, schedule, services=svc)
+        assert rep.cold_cache_events == 0
+
+
+class TestCoreSlowdown:
+    def test_slowdown_stretches_service_time(self):
+        wl = manual_workload([0, 10_000], [0, 0])
+        schedule = FaultSchedule([CoreSlowdown(5000, core_id=0, factor=4.0)])
+        rep, inj = run(wl, schedule, collect_latencies=True)
+        assert rep.departed == 2
+        # packet 1 at normal speed (1000 ns), packet 2 at 4x
+        assert rep.latency_ns["max"] == pytest.approx(4000)
+        assert inj.slow_cores == {0: 4.0}
+
+    def test_windowed_slowdown_restores_speed(self):
+        wl = manual_workload([0, 10_000], [0, 0])
+        schedule = FaultSchedule([
+            CoreSlowdown(2000, core_id=0, factor=4.0, duration_ns=3000),
+        ])
+        rep, inj = run(wl, schedule, collect_latencies=True)
+        # the window [2000, 5000) closed before packet 2 started
+        assert rep.latency_ns["max"] == pytest.approx(1000)
+        assert inj.slow_cores == {}
+
+
+class TestSchedulerHooks:
+    def test_laps_counts_fail_and_recover(self):
+        from repro.core.laps import LAPSConfig, LAPSScheduler
+
+        wl = manual_workload([0, 10_000], [0, 1])
+        schedule = FaultSchedule([
+            CoreFail(2000, core_id=5), CoreRecover(6000, core_id=5),
+        ])
+        sched = LAPSScheduler(LAPSConfig(num_services=1), rng=1)
+        inj = FaultInjector(schedule)
+        simulate(wl, sched, SimConfig(num_cores=16), injector=inj)
+        stats = sched.stats()
+        assert stats["cores_failed"] == 1
+        assert stats["cores_recovered"] == 1
+
+    def test_naive_scheduler_needs_no_hooks(self):
+        # base-class no-op hooks: FCFS survives fail + recover untouched
+        wl = manual_workload([0, 10_000], [0, 1])
+        schedule = FaultSchedule([
+            CoreFail(2000, core_id=0), CoreRecover(6000, core_id=0),
+        ])
+        rep, _ = run(wl, schedule, scheduler=FCFSScheduler())
+        assert rep.generated == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self):
+        from repro.faults.harness import fault_workload
+
+        wl = fault_workload(0.8, duration_ns=2_000_000, trace_packets=4_000)
+        schedule = FaultSchedule.random(
+            3, duration_ns=2_000_000, num_cores=16, num_services=4,
+            num_events=5,
+        )
+        wl = apply_traffic_events(wl, schedule)
+        reports = []
+        for _ in range(2):
+            rep, inj = [], None
+            injector = FaultInjector(schedule)
+            r = simulate(wl, FCFSScheduler(), SimConfig(num_cores=16),
+                         injector=injector)
+            reports.append((r.dropped, r.fault_dropped, r.out_of_order,
+                            r.departed, injector.stats()))
+        assert reports[0] == reports[1]
+
+
+class TestTrafficTransforms:
+    def test_no_traffic_events_returns_same_object(self):
+        wl = manual_workload([0, 100], [0, 1])
+        schedule = FaultSchedule([CoreFail(50, core_id=0)])
+        assert apply_traffic_events(wl, schedule) is wl
+
+    def test_surge_compresses_window(self):
+        arrivals = [0, 1000, 2000, 3000, 4000]
+        wl = manual_workload(arrivals, [0, 1, 2, 3, 4])
+        schedule = FaultSchedule([
+            TrafficSurge(1000, service_id=0, factor=2.0, duration_ns=3000),
+        ])
+        out = apply_traffic_events(wl, schedule)
+        # packets inside [1000, 4000) move to 1000 + (t-1000)/2
+        assert list(out.arrival_ns) == [0, 1000, 1500, 2000, 4000]
+
+    def test_surge_only_touches_its_service(self):
+        wl = manual_workload([0, 1000, 2000], [0, 1, 2],
+                             services=[0, 1, 1], num_services=2)
+        schedule = FaultSchedule([
+            TrafficSurge(0, service_id=0, factor=2.0, duration_ns=5000),
+        ])
+        out = apply_traffic_events(wl, schedule)
+        svc1 = out.arrival_ns[out.service_id == 1]
+        assert list(svc1) == [1000, 2000]
+
+    def test_flap_defers_outage_arrivals(self):
+        arrivals = [0, 1000, 1500, 3000]
+        wl = manual_workload(arrivals, [0, 1, 2, 3])
+        schedule = FaultSchedule([
+            ServiceFlap(1000, service_id=0, period_ns=2000, cycles=1,
+                        duty=0.5),
+        ])
+        out = apply_traffic_events(wl, schedule)
+        # outage [1000, 2000): those arrivals burst in at 2000
+        assert sorted(out.arrival_ns) == [0, 2000, 2000, 3000]
+
+    def test_transform_keeps_per_flow_order(self):
+        arrivals = list(range(0, 10_000, 100))
+        flows = [i % 4 for i in range(len(arrivals))]
+        wl = manual_workload(arrivals, flows)
+        schedule = FaultSchedule([
+            TrafficSurge(2000, service_id=0, factor=3.0, duration_ns=4000),
+            ServiceFlap(7000, service_id=0, period_ns=1000, cycles=2,
+                        duty=0.4),
+        ])
+        out = apply_traffic_events(wl, schedule)
+        assert list(out.arrival_ns) == sorted(out.arrival_ns)
+        for f in range(4):
+            seqs = out.seq[out.flow_id == f]
+            assert list(seqs) == sorted(seqs)
+
+    def test_transformed_workload_simulates(self):
+        wl = manual_workload(list(range(0, 5000, 50)),
+                             [i % 3 for i in range(100)])
+        schedule = FaultSchedule([
+            TrafficSurge(1000, service_id=0, factor=2.0, duration_ns=2000),
+        ])
+        out = apply_traffic_events(wl, schedule)
+        rep = simulate(out, FCFSScheduler(), two_core_config())
+        assert rep.generated == 100
+
+
+class TestStats:
+    def test_stats_keys(self):
+        inj = FaultInjector(FaultSchedule())
+        assert set(inj.stats()) == {
+            "events_applied", "cores_down", "cores_slow", "packets_killed",
+            "packets_drained", "packets_reassigned", "reassign_drops",
+        }

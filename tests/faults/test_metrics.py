@@ -1,0 +1,154 @@
+"""Tests for resilience metrics over synthetic telemetry series."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.events import CoreFail, CoreRecover, FaultSchedule
+from repro.faults.metrics import compute_resilience
+
+MS = 1_000_000
+
+
+def series(drops, ooo=None, occ=None, remap=None, period_ns=MS,
+           generated_per_ms=1000):
+    """Build probe records from cumulative per-sample column values."""
+    n = len(drops)
+    ooo = ooo or [0] * n
+    occ = occ if occ is not None else [4] * n
+    remap = remap or [0] * n
+    return [
+        {
+            "t_ns": i * period_ns,
+            "dropped": drops[i],
+            "out_of_order": ooo[i],
+            "occ_max": occ[i],
+            "generated": generated_per_ms * i,
+            "sched_core_transfers": remap[i],
+        }
+        for i in range(n)
+    ]
+
+
+class TestEdgeCases:
+    def test_empty_records(self):
+        res = compute_resilience([], FaultSchedule([CoreFail(0, core_id=0)]))
+        assert res.impacts == ()
+        assert res.recovered  # vacuously: no impacts observed
+
+    def test_invalid_settle_samples(self):
+        with pytest.raises(ConfigError):
+            compute_resilience(
+                series([0, 0]), FaultSchedule(), settle_samples=0
+            )
+
+    def test_no_events_no_impacts(self):
+        res = compute_resilience(series([0, 0, 5, 5]), FaultSchedule())
+        assert res.impacts == ()
+        assert res.worst_recovery_ns is None
+
+
+class TestRecovery:
+    def test_clean_recovery_time(self):
+        # fault at 5 ms; drops burst for two samples then stop
+        drops = [0, 0, 0, 0, 0, 0, 100, 200, 200, 200, 200, 200]
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        res = compute_resilience(
+            series(drops), schedule, drop_eps_per_ms=1.0, settle_samples=3
+        )
+        [impact] = res.impacts
+        # calm from sample 8 (rate 0): settled at t=8ms, 3 ms after
+        assert impact.recovery_ns == 3 * MS
+        assert res.recovered
+
+    def test_never_recovers(self):
+        drops = [0, 0, 0, 0, 0, 0] + [100 * i for i in range(1, 7)]
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        res = compute_resilience(series(drops), schedule,
+                                 drop_eps_per_ms=1.0)
+        assert not res.recovered
+        assert res.worst_recovery_ns is None
+
+    def test_drain_phase_not_counted_as_recovery(self):
+        # drops persist until arrivals end at 8 ms; the flat tail beyond
+        # is the drain, which must not count as settling
+        drops = [0, 0, 0, 0, 0, 0, 100, 200, 300, 300, 300, 300]
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        free_run = compute_resilience(series(drops), schedule,
+                                      drop_eps_per_ms=1.0)
+        bounded = compute_resilience(series(drops), schedule,
+                                     drop_eps_per_ms=1.0,
+                                     arrivals_end_ns=8 * MS)
+        assert free_run.recovered
+        assert not bounded.recovered
+
+    def test_occupancy_blocks_recovery(self):
+        # drops stop but queues stay pinned above baseline + eps
+        drops = [0, 0, 0, 0, 0, 0, 100, 100, 100, 100, 100, 100]
+        occ = [4] * 6 + [32] * 6
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        res = compute_resilience(series(drops, occ=occ), schedule,
+                                 drop_eps_per_ms=1.0, occ_eps=8.0)
+        assert not res.recovered
+
+    def test_recovery_relative_to_nonzero_baseline(self):
+        # overload run: steady 50 drops/ms before the fault, 50 after
+        # the burst -> "recovered" means back at the old rate
+        drops = [50 * i for i in range(6)]
+        drops += [drops[-1] + 500, drops[-1] + 1000]
+        drops += [drops[-1] + 50 * i for i in range(1, 5)]
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        res = compute_resilience(series(drops), schedule,
+                                 drop_eps_per_ms=5.0)
+        assert res.baseline_drop_per_ms == pytest.approx(50.0)
+        assert res.recovered
+
+
+class TestAttribution:
+    def test_window_deltas(self):
+        drops = [0, 0, 0, 10, 30, 30, 30, 30, 30, 30, 30, 30]
+        ooo = [0, 0, 0, 5, 5, 5, 5, 5, 5, 5, 5, 5]
+        remap = [0, 0, 0, 2, 3, 3, 3, 3, 3, 3, 3, 3]
+        schedule = FaultSchedule([
+            CoreFail(2 * MS, core_id=0), CoreRecover(6 * MS, core_id=0),
+        ])
+        res = compute_resilience(
+            series(drops, ooo=ooo, remap=remap), schedule,
+            drop_eps_per_ms=100.0,
+        )
+        [impact] = res.impacts  # recover folds into the fail window
+        assert impact.drops == 30
+        assert impact.ooo == 5
+        assert impact.flows_remapped == 3
+
+    def test_post_fault_totals(self):
+        drops = [0, 0, 0, 10, 30, 40, 40, 40, 40, 40, 40, 45]
+        schedule = FaultSchedule([CoreFail(2 * MS, core_id=0)])
+        res = compute_resilience(series(drops), schedule,
+                                 drop_eps_per_ms=100.0)
+        assert res.post_fault_drops == 45
+
+    def test_adaptive_epsilon_scales_with_offered_rate(self):
+        # 20 drops/ms of post-fault noise: negligible at 10k pkts/ms
+        # (1% = 100/ms) but a real regression at 100 pkts/ms (1% = 1/ms)
+        drops = [0] * 6 + [20 * i for i in range(1, 7)]
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        loose = compute_resilience(
+            series(drops, generated_per_ms=10_000), schedule
+        )
+        tight = compute_resilience(
+            series(drops, generated_per_ms=100), schedule
+        )
+        assert loose.recovered
+        assert not tight.recovered
+
+
+class TestSummaryShape:
+    def test_as_row(self):
+        drops = [0, 0, 0, 0, 0, 0, 100, 200, 200, 200, 200, 200]
+        schedule = FaultSchedule([CoreFail(5 * MS, core_id=0)])
+        row = compute_resilience(
+            series(drops), schedule, scheduler="laps", drop_eps_per_ms=1.0
+        ).as_row()
+        assert row["scheduler"] == "laps"
+        assert row["recovered"] is True
+        assert row["recover_ms"] == pytest.approx(3.0)

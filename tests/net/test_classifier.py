@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ConfigError
 from repro.hashing.five_tuple import FiveTuple
 from repro.net.classifier import MatchRule, ServiceClassifier, default_edge_rules
-from repro.trace.trace import Trace
 
 
 def key(src="10.0.0.1", dst="192.168.0.1", sport=40000, dport=80, proto=6):

@@ -6,6 +6,7 @@ import pytest
 from repro import units
 from repro.errors import ConfigError
 from repro.obs import (
+    FaultStateSampler,
     ProgressSampler,
     QueueOccupancySampler,
     ReorderSampler,
@@ -118,3 +119,26 @@ class TestEndToEnd:
         row = probe.records[-1]
         assert "sched_migrations_installed" in row
         assert "sched_core_requests" in row
+
+
+class TestFaultStateSampler:
+    def test_without_injector_contributes_nothing(self):
+        probe = TelemetryProbe(10, [FaultStateSampler()])
+        probe.maybe_sample(0, FakeQueues([0]), FakeMetrics())
+        assert probe.records == [{"t_ns": 0}]
+
+    def test_fault_state_sampled_during_run(self, small_workload, small_config):
+        from repro.faults import CoreFail, FaultInjector, FaultSchedule
+
+        probe = TelemetryProbe(units.us(100))
+        schedule = FaultSchedule([CoreFail(units.ms(1), core_id=3)])
+        sim = NetworkProcessorSim(
+            small_config, FCFSScheduler(), small_workload, probe=probe,
+            injector=FaultInjector(schedule),
+        )
+        sim.run()
+        before = [r for r in probe.records if r["t_ns"] < units.ms(1)]
+        after = [r for r in probe.records if r["t_ns"] > units.ms(1)]
+        assert before and before[0]["fault_cores_down"] == 0
+        assert after and after[-1]["fault_cores_down"] == 1
+        assert after[-1]["fault_events_applied"] == 1

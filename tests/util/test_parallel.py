@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.util.parallel import default_jobs, parallel_map
+from repro.util.parallel import ParallelTaskError, default_jobs, parallel_map
 
 
 def square(x):
@@ -13,6 +13,12 @@ def square(x):
 
 def pid_of(_x):
     return os.getpid()
+
+
+def explode_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
 
 
 class TestParallelMap:
@@ -44,6 +50,48 @@ class TestParallelMap:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+
+class TestReproJobsOverride:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_env_override_not_capped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "64")
+        assert default_jobs() == 64
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_invalid_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_unset_uses_heuristic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert 1 <= default_jobs() <= 8
+
+
+class TestWorkerErrors:
+    def test_pool_failure_names_the_item(self):
+        with pytest.raises(ParallelTaskError) as err:
+            parallel_map(explode_on_three, [1, 2, 3, 4], jobs=2)
+        assert err.value.item_repr == "3"
+        assert "ValueError" in str(err.value)
+        assert "boom" in str(err.value)
+
+    def test_inline_failure_raises_original(self):
+        # jobs=1 keeps the plain traceback: no wrapping
+        with pytest.raises(ValueError):
+            parallel_map(explode_on_three, [1, 3], jobs=1)
+
+    def test_error_survives_pickle(self):
+        import pickle
+
+        err = ParallelTaskError.wrap(("T1", 7), ValueError("bad rate"))
+        back = pickle.loads(pickle.dumps(err))
+        assert back.item_repr == repr(("T1", 7))
+        assert "bad rate" in str(back)
 
 
 class TestExperimentsIntegration:
