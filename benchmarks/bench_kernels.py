@@ -3,7 +3,17 @@
 These quantify the claims the simulator's design leans on: vectorised
 CRC16 hashing, O(1) AFD accesses, cheap scheduling decisions, and the
 event loop's packet rate.
+
+``REPRO_BENCH_QUICK=1`` shrinks the event-loop workload (CI's
+benchmark smoke job uses it: the goal there is "the hot paths still
+run and haven't collapsed", not stable timings); ``REPRO_BENCH_MIN_PPS``
+optionally enforces a simulated-packets-per-second floor on the event
+loop (default 20000 — far below the usual ~200k so normal machine
+noise can't trip it, but an order-of-magnitude regression does).
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -106,11 +116,17 @@ def test_laps_decision(benchmark):
     benchmark(op)
 
 
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
 def _event_loop_inputs():
     svc = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
-    trace = preset_trace("caida-1", num_packets=20_000)
+    packets = 4_000 if _quick() else 20_000
+    duration = units.ms(1) if _quick() else units.ms(3)
+    trace = preset_trace("caida-1", num_packets=packets)
     wl = build_workload(
-        [trace], [HoltWintersParams(a=8e6)], duration_ns=units.ms(3), seed=0
+        [trace], [HoltWintersParams(a=8e6)], duration_ns=duration, seed=0
     )
     cfg = SimConfig(num_cores=8, services=svc, collect_latencies=False)
     return wl, cfg
@@ -125,10 +141,44 @@ def test_simulator_event_loop(benchmark):
     wl, cfg = _event_loop_inputs()
 
     def run():
-        return simulate(wl, make_scheduler("hash-static"), cfg)
+        t0 = time.perf_counter()
+        report = simulate(wl, make_scheduler("hash-static"), cfg)
+        return report, time.perf_counter() - t0
+
+    report, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.generated == wl.num_packets
+    floor = float(os.environ.get("REPRO_BENCH_MIN_PPS", "20000"))
+    pps = report.generated / elapsed
+    assert pps >= floor, (
+        f"event loop at {pps:,.0f} simulated pkts/s, below the "
+        f"REPRO_BENCH_MIN_PPS floor of {floor:,.0f}"
+    )
+
+
+def test_kernel_chunked_run_until(benchmark):
+    """The steppable path: many ``run_until`` slices vs one ``run()``.
+
+    Measures the overhead of re-entering the kernel (the checkpointing
+    and live-inspection use cases run this way) and proves the chunked
+    run reproduces the monolithic report exactly.
+    """
+    from repro.sim.kernel import SimKernel
+
+    wl, cfg = _event_loop_inputs()
+    whole = simulate(wl, make_scheduler("hash-static"), cfg)
+    last_t = int(wl.arrival_ns[-1])
+    chunk = max(1, last_t // 64)
+
+    def run():
+        kernel = SimKernel(cfg, make_scheduler("hash-static"), wl)
+        t = chunk
+        while t < last_t:
+            kernel.run_until(t)
+            t += chunk
+        return kernel.run()
 
     report = benchmark.pedantic(run, rounds=3, iterations=1)
-    assert report.generated == wl.num_packets
+    assert report == whole
 
 
 def test_simulator_event_loop_with_telemetry(benchmark):

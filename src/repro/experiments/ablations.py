@@ -22,7 +22,11 @@ from __future__ import annotations
 from repro import units
 from repro.core.afd import AFDConfig
 from repro.core.laps import LAPSConfig, LAPSScheduler
-from repro.experiments.fig9 import single_service_workload
+from repro.experiments.batch import RunSpec, WorkloadSpec, run_batch
+from repro.experiments.fig9 import (
+    single_service_config,
+    single_service_workload,
+)
 from repro.experiments.runner import ExperimentResult
 from repro.schedulers.fcfs import FCFSScheduler
 from repro.sim.config import SimConfig
@@ -47,6 +51,24 @@ def _workload(quick: bool, **kw):
     return single_service_workload("caida-1", **kw)
 
 
+def _ablation_workload(
+    duration_ns: int, trace_packets: int, utilisation: float = 1.05
+):
+    """Workload factory for :class:`WorkloadSpec` (workload only)."""
+    return single_service_workload(
+        "caida-1",
+        duration_ns=duration_ns,
+        trace_packets=trace_packets,
+        utilisation=utilisation,
+    )[0]
+
+
+def _ablation_workload_spec(quick: bool, **kw) -> WorkloadSpec:
+    kw.setdefault("duration_ns", units.ms(6) if quick else units.ms(15))
+    kw.setdefault("trace_packets", 80_000 if quick else 200_000)
+    return WorkloadSpec.of(_ablation_workload, **kw)
+
+
 def _laps(**cfg_kw) -> LAPSScheduler:
     cfg_kw.setdefault("num_services", 1)
     cfg_kw.setdefault("migration_table_entries", 4096)
@@ -57,19 +79,29 @@ def _laps(**cfg_kw) -> LAPSScheduler:
 def run_promote_threshold(
     quick: bool = False,
     thresholds: tuple[int, ...] = (8, 16, 32, 64, 128),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep the AFD's annex promotion threshold."""
-    workload, config = _workload(quick)
     result = ExperimentResult(
         "Ablation - AFD promote threshold (LAPS, 105% load)",
         columns=["threshold", "dropped", "ooo", "migrations", "promotions"],
         meta={"quick": quick},
     )
-    for threshold in thresholds:
-        sched = _laps(afd=AFDConfig(promote_threshold=threshold))
-        rep = simulate(workload, sched, config)
+    wspec = _ablation_workload_spec(quick)
+    specs = [
+        RunSpec(
+            workload=wspec,
+            scheduler_fn=_laps,
+            scheduler_kwargs={"afd": AFDConfig(promote_threshold=t)},
+            config_fn=single_service_config,
+            label={"threshold": t},
+        )
+        for t in thresholds
+    ]
+    for run_ in run_batch(specs, jobs=jobs):
+        rep = run_.report
         result.add(
-            threshold=threshold, dropped=rep.dropped, ooo=rep.out_of_order,
+            **run_.label, dropped=rep.dropped, ooo=rep.out_of_order,
             migrations=rep.flow_migration_events,
             promotions=int(rep.scheduler_stats["afd_promotions"]),
         )
@@ -79,6 +111,7 @@ def run_promote_threshold(
 def run_queue_depth(
     quick: bool = False,
     depths: tuple[int, ...] = (16, 32, 64, 128),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep the per-core input queue capacity."""
     result = ExperimentResult(
@@ -86,15 +119,21 @@ def run_queue_depth(
         columns=["queue_depth", "dropped", "ooo", "p_drop"],
         meta={"quick": quick},
     )
-    for depth in depths:
-        workload, base = _workload(quick)
-        config = SimConfig(
-            num_cores=base.num_cores, queue_capacity=depth,
-            services=base.services, collect_latencies=False,
+    wspec = _ablation_workload_spec(quick)
+    specs = [
+        RunSpec(
+            workload=wspec,
+            scheduler_fn=_laps,
+            scheduler_kwargs={"high_threshold": int(depth * 0.75)},
+            config_fn=single_service_config,
+            config_kwargs={"queue_capacity": depth},
+            label={"queue_depth": depth},
         )
-        sched = _laps(high_threshold=int(depth * 0.75))
-        rep = simulate(workload, sched, config)
-        result.add(queue_depth=depth, dropped=rep.dropped,
+        for depth in depths
+    ]
+    for run_ in run_batch(specs, jobs=jobs):
+        rep = run_.report
+        result.add(**run_.label, dropped=rep.dropped,
                    ooo=rep.out_of_order, p_drop=round(rep.drop_fraction, 4))
     return result
 
@@ -102,18 +141,29 @@ def run_queue_depth(
 def run_migration_table(
     quick: bool = False,
     capacities: tuple[int, ...] = (8, 32, 128, 1024),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep the migration (pin) table capacity."""
-    workload, config = _workload(quick)
     result = ExperimentResult(
         "Ablation - migration table capacity (LAPS, 105% load)",
         columns=["entries", "dropped", "ooo", "migrations", "evictions"],
         meta={"quick": quick},
     )
-    for entries in capacities:
-        rep = simulate(workload, _laps(migration_table_entries=entries), config)
+    wspec = _ablation_workload_spec(quick)
+    specs = [
+        RunSpec(
+            workload=wspec,
+            scheduler_fn=_laps,
+            scheduler_kwargs={"migration_table_entries": entries},
+            config_fn=single_service_config,
+            label={"entries": entries},
+        )
+        for entries in capacities
+    ]
+    for run_ in run_batch(specs, jobs=jobs):
+        rep = run_.report
         result.add(
-            entries=entries, dropped=rep.dropped, ooo=rep.out_of_order,
+            **run_.label, dropped=rep.dropped, ooo=rep.out_of_order,
             migrations=rep.flow_migration_events,
             evictions=int(rep.scheduler_stats["migration_table_evictions"]),
         )
@@ -123,18 +173,29 @@ def run_migration_table(
 def run_pin_weight(
     quick: bool = False,
     weights: tuple[int, ...] = (0, 8, 16, 32),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep the pin-aware placement penalty (0 = the paper's literal
     findMinQ)."""
-    workload, config = _workload(quick)
     result = ExperimentResult(
         "Ablation - pin-aware placement weight (LAPS, 105% load)",
         columns=["pin_weight", "dropped", "ooo", "migrated_flows"],
         meta={"quick": quick},
     )
-    for weight in weights:
-        rep = simulate(workload, _laps(pin_weight=weight), config)
-        result.add(pin_weight=weight, dropped=rep.dropped,
+    wspec = _ablation_workload_spec(quick)
+    specs = [
+        RunSpec(
+            workload=wspec,
+            scheduler_fn=_laps,
+            scheduler_kwargs={"pin_weight": weight},
+            config_fn=single_service_config,
+            label={"pin_weight": weight},
+        )
+        for weight in weights
+    ]
+    for run_ in run_batch(specs, jobs=jobs):
+        rep = run_.report
+        result.add(**run_.label, dropped=rep.dropped,
                    ooo=rep.out_of_order, migrated_flows=rep.migrated_flows)
     return result
 
@@ -186,13 +247,18 @@ def run_power_gating(
     return result
 
 
-def run(quick: bool = False) -> list[ExperimentResult]:
-    """All ablations."""
+def run(quick: bool = False, jobs: int = 1) -> list[ExperimentResult]:
+    """All ablations.
+
+    ``jobs`` is forwarded to the batched sweeps (0 = auto); the
+    restoration and power studies post-process a single run and stay
+    inline.
+    """
     return [
-        run_promote_threshold(quick=quick),
-        run_queue_depth(quick=quick),
-        run_migration_table(quick=quick),
-        run_pin_weight(quick=quick),
+        run_promote_threshold(quick=quick, jobs=jobs),
+        run_queue_depth(quick=quick, jobs=jobs),
+        run_migration_table(quick=quick, jobs=jobs),
+        run_pin_weight(quick=quick, jobs=jobs),
         run_restoration(quick=quick),
         run_power_gating(quick=quick),
     ]

@@ -24,7 +24,7 @@ _EXPERIMENTS = {
     "fig8": lambda quick, jobs: fig8.run(quick=quick),
     "fig9": lambda quick, jobs: [fig9.run(quick=quick, jobs=jobs)],
     "timing": lambda quick, jobs: timing.run(quick=quick),
-    "ablations": lambda quick, jobs: ablations.run(quick=quick),
+    "ablations": lambda quick, jobs: ablations.run(quick=quick, jobs=jobs),
     "faults": lambda quick, jobs: [faults_harness.run(quick=quick, jobs=jobs)],
 }
 
@@ -55,7 +55,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="parallel worker processes for fig7/fig9/faults (0 = auto)",
+        help="parallel worker processes for fig7/fig9/ablations/faults "
+             "(0 = auto)",
     )
     args = parser.parse_args(argv)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro import units
 from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.experiments.batch import RunSpec, WorkloadSpec, run_batch
 from repro.experiments.params import SCENARIOS, Scenario
 from repro.experiments.runner import (
     ExperimentResult,
@@ -30,7 +31,6 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.fcfs import FCFSScheduler
 from repro.sim.metrics import SimReport
 from repro.sim.system import simulate
-from repro.util.parallel import parallel_map
 
 __all__ = ["make_schedulers", "run_scenario", "run", "headline"]
 
@@ -69,27 +69,22 @@ def run_scenario(
     return reports
 
 
-def _scenario_task(args: tuple) -> list[dict]:
-    """One scenario's rows (module-level for process-pool pickling)."""
-    sname, quick, seed, duration_ns, trace_packets = args
-    reports = run_scenario(
-        SCENARIOS[sname], quick=quick, seed=seed,
-        duration_ns=duration_ns, trace_packets=trace_packets,
+def _scenario_workload(
+    scenario: str, duration_ns: int, trace_packets: int, seed: int
+):
+    """Workload factory for :class:`WorkloadSpec` (scenario by name —
+    spec kwargs must be hashable)."""
+    return scenario_workload(
+        SCENARIOS[scenario],
+        duration_ns=duration_ns,
+        trace_packets=trace_packets,
+        seed=seed,
     )
-    rows = []
-    for sched_name, rep in reports.items():
-        rows.append(dict(
-            scenario=sname,
-            scheduler=sched_name,
-            offered=rep.generated,
-            dropped=rep.dropped,
-            drop_frac=round(rep.drop_fraction, 4),
-            cold_cache_frac=round(rep.cold_cache_fraction, 4),
-            ooo=rep.out_of_order,
-            ooo_frac=round(rep.ooo_fraction, 5),
-            flow_migrations=rep.flow_migration_events,
-        ))
-    return rows
+
+
+def _make_scheduler(name: str, seed: int) -> Scheduler:
+    """Scheduler factory for :class:`RunSpec`."""
+    return make_schedulers(seed=seed)[name]
 
 
 def run(
@@ -102,10 +97,15 @@ def run(
 ) -> ExperimentResult:
     """Fig. 7(a-c): all scenarios x all schedulers, one row each.
 
-    ``jobs`` parallelises across scenarios with a process pool
-    (0 = auto): each scenario's three simulations are independent.
+    Runs go through :func:`repro.experiments.batch.run_batch`: the
+    three schedulers of a scenario share one workload build, and
+    ``jobs`` spreads scenarios over a process pool (0 = auto).
     """
     names = scenarios or tuple(SCENARIOS)
+    if duration_ns is None:
+        duration_ns = units.ms(10) if quick else units.ms(60)
+    if trace_packets is None:
+        trace_packets = 30_000 if quick else 100_000
     result = ExperimentResult(
         "Fig. 7 - LAPS vs FCFS vs AFS over scenarios T1-T8",
         columns=[
@@ -117,10 +117,35 @@ def run(
         ],
         meta={"quick": quick, "seed": seed},
     )
-    tasks = [(sname, quick, seed, duration_ns, trace_packets) for sname in names]
-    for rows in parallel_map(_scenario_task, tasks, jobs=jobs):
-        for row in rows:
-            result.add(**row)
+    specs = []
+    for sname in names:
+        wspec = WorkloadSpec.of(
+            _scenario_workload,
+            scenario=sname,
+            duration_ns=duration_ns,
+            trace_packets=trace_packets,
+            seed=seed,
+        )
+        for sched_name in ("fcfs", "afs", "laps"):
+            specs.append(RunSpec(
+                workload=wspec,
+                scheduler_fn=_make_scheduler,
+                scheduler_kwargs={"name": sched_name, "seed": seed + 1},
+                config_fn=scenario_config,
+                label={"scenario": sname, "scheduler": sched_name},
+            ))
+    for run_ in run_batch(specs, jobs=jobs):
+        rep = run_.report
+        result.add(
+            **run_.label,
+            offered=rep.generated,
+            dropped=rep.dropped,
+            drop_frac=round(rep.drop_fraction, 4),
+            cold_cache_frac=round(rep.cold_cache_fraction, 4),
+            ooo=rep.out_of_order,
+            ooo_frac=round(rep.ooo_fraction, 5),
+            flow_migrations=rep.flow_migration_events,
+        )
     return result
 
 

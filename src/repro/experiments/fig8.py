@@ -21,6 +21,8 @@ single-cache ElephantTrap (the paper's Sec. VI argument for the annex).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.core.afd import AFDConfig, AggressiveFlowDetector
 from repro.experiments.runner import ExperimentResult
 from repro.schedulers.elephant_trap import ElephantTrap
@@ -41,6 +43,17 @@ __all__ = [
 DEFAULT_TRACES = ("caida-1", "caida-2", "auck-1", "auck-2")
 ANNEX_SIZES = (64, 128, 256, 512, 1024)
 SAMPLE_PROBS = (1.0, 0.1, 0.01, 1e-3, 1e-4)
+
+
+@lru_cache(maxsize=None)
+def _trace(name: str, num_packets: int | None) -> Trace:
+    """Memoised preset-trace construction.
+
+    The four panels re-read the same presets at the same size; traces
+    are immutable once built (the panels only iterate their arrays), so
+    one build serves the whole ``run()``.
+    """
+    return preset_trace(name, num_packets=num_packets)
 
 
 def feed(detector, trace: Trace) -> None:
@@ -77,7 +90,7 @@ def run_annex_sweep(
         },
     )
     for name in traces:
-        trace = preset_trace(name, num_packets=num_packets)
+        trace = _trace(name, num_packets)
         truth = _truth(trace, afc_entries)
         truth20 = _truth(trace, 20)
         for annex in annex_sizes:
@@ -126,7 +139,7 @@ def run_window_accuracy(
     import numpy as np
 
     for name in traces:
-        trace = preset_trace(name, num_packets=num_packets)
+        trace = _trace(name, num_packets)
         for interval in intervals:
             if interval >= trace.num_packets:
                 continue
@@ -185,7 +198,7 @@ def run_sampling(
         meta={"quick": quick, "annex_entries": annex_entries},
     )
     for name in traces:
-        trace = preset_trace(name, num_packets=num_packets)
+        trace = _trace(name, num_packets)
         truth = _truth(trace, afc_entries)
         for p in probs:
             afd = AggressiveFlowDetector(
@@ -224,7 +237,7 @@ def run_single_vs_two_level(
         meta={"quick": quick, "afc_entries": entries},
     )
     for name in traces:
-        trace = preset_trace(name, num_packets=num_packets)
+        trace = _trace(name, num_packets)
         truth = _truth(trace, entries)
         afd = AggressiveFlowDetector(
             AFDConfig(afc_entries=entries, annex_entries=annex_entries),

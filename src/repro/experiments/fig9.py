@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro import units
 from repro.core.afd import AFDConfig
 from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.experiments.batch import RunSpec, WorkloadSpec, run_batch
 from repro.experiments.runner import ExperimentResult
 from repro.net.service import Service, ServiceSet
 from repro.schedulers.afs import AFSScheduler
@@ -27,16 +28,38 @@ from repro.schedulers.hash_static import StaticHashScheduler
 from repro.schedulers.oracle import ExactTopKDetector, TopKMigrationScheduler
 from repro.sim.config import SimConfig
 from repro.sim.generator import HoltWintersParams
-from repro.sim.system import simulate
 from repro.sim.workload import build_workload
 from repro.trace.models import TRIMODAL_INTERNET_SIZES
 from repro.trace.synthetic import preset_trace
-from repro.util.parallel import parallel_map
 
-__all__ = ["run", "DEFAULT_TRACES", "K_SWEEP", "single_service_workload"]
+__all__ = [
+    "run",
+    "DEFAULT_TRACES",
+    "K_SWEEP",
+    "single_service_workload",
+    "single_service_config",
+    "ip_forward_service",
+]
 
 DEFAULT_TRACES = ("caida-1", "caida-2", "auck-1", "auck-2")
 K_SWEEP = (1, 4, 8, 10, 16)
+
+
+def ip_forward_service() -> ServiceSet:
+    """The Sec. V-C single-service set (IP forwarding only)."""
+    return ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+
+
+def single_service_config(
+    num_cores: int = 16, queue_capacity: int = 32
+) -> SimConfig:
+    """The Fig. 9 platform config (also the ablations' base config)."""
+    return SimConfig(
+        num_cores=num_cores,
+        queue_capacity=queue_capacity,
+        services=ip_forward_service(),
+        collect_latencies=False,
+    )
 
 
 def single_service_workload(
@@ -49,54 +72,44 @@ def single_service_workload(
     seed: int = 7,
 ):
     """IP-forwarding-only workload at *utilisation* of ideal capacity."""
-    service = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    service = ip_forward_service()
     trace = preset_trace(trace_name, num_packets=trace_packets)
     capacity = service.capacity_pps([num_cores], TRIMODAL_INTERNET_SIZES.mean)
     params = [HoltWintersParams(a=utilisation * capacity)]
     workload = build_workload([trace], params, duration_ns=duration_ns, seed=seed)
-    config = SimConfig(num_cores=num_cores, services=service, collect_latencies=False)
-    return workload, config
+    return workload, single_service_config(num_cores)
 
 
-def _trace_task(args: tuple) -> list[dict]:
-    """All policies for one trace (module-level for pickling)."""
-    name, k_sweep, duration_ns, trace_packets, seed = args
-    workload, config = single_service_workload(
-        name, duration_ns=duration_ns, trace_packets=trace_packets, seed=seed
-    )
-    baseline = simulate(
-        workload, AFSScheduler(cooldown_ns=units.us(100)), config
-    )
-    rows: list[dict] = []
+def _fig9_workload(
+    trace: str, duration_ns: int, trace_packets: int, seed: int
+):
+    """Workload factory for :class:`WorkloadSpec` (workload only)."""
+    return single_service_workload(
+        trace, duration_ns=duration_ns, trace_packets=trace_packets, seed=seed
+    )[0]
 
-    def emit(policy: str, rep) -> None:
-        rel = rep.relative_to(baseline)
-        rows.append(dict(
-            trace=name, policy=policy,
-            dropped=rep.dropped, ooo=rep.out_of_order,
-            flow_migrations=rep.flow_migration_events,
-            drop_rel_afs=round(rel["dropped"], 4),
-            ooo_rel_afs=round(rel["out_of_order"], 4),
-            migrations_rel_afs=round(rel["flow_migrations"], 4),
-        ))
 
-    emit("afs", baseline)
-    emit("none", simulate(workload, StaticHashScheduler(), config))
-    for k in k_sweep:
-        sched = TopKMigrationScheduler(
+def _fig9_scheduler(policy: str, seed: int):
+    """Scheduler factory for :class:`RunSpec` (policy by name)."""
+    if policy == "afs":
+        return AFSScheduler(cooldown_ns=units.us(100))
+    if policy == "none":
+        return StaticHashScheduler()
+    if policy.startswith("top-"):
+        k = int(policy[len("top-"):])
+        return TopKMigrationScheduler(
             detector=ExactTopKDetector(k), migration_table_entries=4096
         )
-        emit(f"top-{k}", simulate(workload, sched, config))
-    laps = LAPSScheduler(
-        LAPSConfig(
-            num_services=1,
-            migration_table_entries=4096,
-            afd=AFDConfig(promote_threshold=64),
-        ),
-        rng=seed,
-    )
-    emit("laps-afd", simulate(workload, laps, config))
-    return rows
+    if policy == "laps-afd":
+        return LAPSScheduler(
+            LAPSConfig(
+                num_services=1,
+                migration_table_entries=4096,
+                afd=AFDConfig(promote_threshold=64),
+            ),
+            rng=seed,
+        )
+    raise ValueError(f"unknown Fig. 9 policy {policy!r}")
 
 
 def run(
@@ -108,7 +121,10 @@ def run(
 ) -> ExperimentResult:
     """Fig. 9(a-c): every policy on every trace, relative to AFS.
 
-    ``jobs`` parallelises across traces with a process pool (0 = auto).
+    Runs go through :func:`repro.experiments.batch.run_batch` — one
+    workload build per trace shared by every policy; ``jobs`` spreads
+    traces over a process pool (0 = auto).  The AFS-relative columns
+    are computed after the batch from each trace's own AFS row.
     """
     duration_ns = units.ms(4) if quick else units.ms(15)
     trace_packets = 50_000 if quick else 200_000
@@ -124,11 +140,37 @@ def run(
         ],
         meta={"quick": quick, "utilisation": 1.05, "seed": seed},
     )
-    tasks = [
-        (name, tuple(k_sweep), duration_ns, trace_packets, seed)
-        for name in traces
-    ]
-    for rows in parallel_map(_trace_task, tasks, jobs=jobs):
-        for row in rows:
-            result.add(**row)
+    policies = ["afs", "none", *(f"top-{k}" for k in k_sweep), "laps-afd"]
+    specs = []
+    for name in traces:
+        wspec = WorkloadSpec.of(
+            _fig9_workload,
+            trace=name,
+            duration_ns=duration_ns,
+            trace_packets=trace_packets,
+            seed=seed,
+        )
+        for policy in policies:
+            specs.append(RunSpec(
+                workload=wspec,
+                scheduler_fn=_fig9_scheduler,
+                scheduler_kwargs={"policy": policy, "seed": seed},
+                config_fn=single_service_config,
+                label={"trace": name, "policy": policy},
+            ))
+    runs = run_batch(specs, jobs=jobs)
+    baselines = {
+        r.label["trace"]: r.report for r in runs if r.label["policy"] == "afs"
+    }
+    for run_ in runs:
+        rep = run_.report
+        rel = rep.relative_to(baselines[run_.label["trace"]])
+        result.add(
+            **run_.label,
+            dropped=rep.dropped, ooo=rep.out_of_order,
+            flow_migrations=rep.flow_migration_events,
+            drop_rel_afs=round(rel["dropped"], 4),
+            ooo_rel_afs=round(rel["out_of_order"], 4),
+            migrations_rel_afs=round(rel["flow_migrations"], 4),
+        )
     return result

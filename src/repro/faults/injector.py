@@ -1,24 +1,26 @@
 """The fault-injection engine hook.
 
 A :class:`FaultInjector` binds to a
-:class:`~repro.sim.system.NetworkProcessorSim` just before the run
-starts: it pushes every platform event of its
-:class:`~repro.faults.events.FaultSchedule` into the simulator's
-completion heap as ``(core=-1, event)`` payloads.  The run loop pops
-them in strict time order, interleaved with packet completions, and
-hands each back to :meth:`FaultInjector.apply`, which mutates the live
-core state:
+:class:`~repro.sim.kernel.SimKernel` just before the run starts
+(``kernel.attach_injector(injector)``, or the ``injector=`` argument of
+:func:`repro.sim.system.simulate`): it pushes every platform event of
+its :class:`~repro.faults.events.FaultSchedule` into the kernel's event
+heap as ``(core=-1, event)`` payloads and subscribes its :meth:`apply`
+to the hook bus's ``timed_event``.  The kernel pops those events in
+strict time order, interleaved with packet completions, and dispatches
+each through the bus; :meth:`apply` then mutates the kernel's explicit
+:class:`~repro.sim.kernel.SimState`:
 
 * **CoreFail** — the in-flight packet dies with the core (its pending
-  completion is tombstoned through ``sim.killed_pkts``), the queued
+  completion is tombstoned through ``state.killed_pkts``), the queued
   descriptors are handled per the :data:`drain policy <DRAIN_POLICIES>`
   (``drop``: lost; ``reassign``: re-dispatched through the scheduler at
   the failure instant), the queue is marked down (it refuses offers and
-  reads as full through the ``LoadView``), and the scheduler's
-  ``on_core_down`` hook fires *before* any reassignment so aware
-  policies never re-select the dead core;
+  reads as full through the ``LoadView``), and the bus's ``core_down``
+  event fires *before* any reassignment so aware policies never
+  re-select the dead core;
 * **CoreRecover** — the queue accepts again, the core restarts idle
-  with a cold i-cache, and ``on_core_up`` fires;
+  with a cold i-cache, and ``core_up`` fires;
 * **CoreSlowdown** — the core's service-time multiplier changes for
   packets that start from now on.
 
@@ -26,6 +28,11 @@ Traffic events never reach the injector: arrival processes are
 pre-generated arrays, so :func:`apply_traffic_events` reshapes the
 workload *before* the run.  Everything here is deterministic — the same
 workload, scheduler seed and schedule produce byte-identical metrics.
+
+Checkpointing: the injector pickles inside the kernel's
+:class:`~repro.sim.kernel.Checkpoint` (its kernel back-reference is
+stripped and re-established at resume); its pending timed events
+travel in the serialized heap.
 """
 
 from __future__ import annotations
@@ -52,7 +59,7 @@ DRAIN_POLICIES = ("drop", "reassign")
 class FaultInjector:
     """Applies a :class:`FaultSchedule`'s platform events to a run.
 
-    One injector serves one run (like the simulator itself); construct
+    One injector serves one run (like the kernel itself); construct
     a fresh one per simulation.  Pass it as the ``injector=`` argument
     of :func:`repro.sim.system.simulate`.
     """
@@ -78,19 +85,35 @@ class FaultInjector:
         self.reassign_drops = 0
         #: (label, t_ns) log of applied events, in application order
         self.applied_log: list[tuple[str, int]] = []
-        self._sim = None
+        self._kernel = None
+        self._bound = False
 
     # ------------------------------------------------------------------
-    def bind(self, sim) -> None:
-        """Attach to a simulator about to run; schedules all events."""
-        if self._sim is not None:
+    def __getstate__(self):
+        # the kernel back-reference would drag the workload and config
+        # into every checkpoint; resume re-establishes it via bind()
+        state = dict(self.__dict__)
+        state["_kernel"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    def bind(self, kernel, *, schedule_events: bool = True) -> None:
+        """Attach to a kernel about to run.
+
+        Pushes the schedule's platform events into the (still empty)
+        heap; a resumed run passes ``schedule_events=False`` because
+        the restored heap already carries the pending ones.
+        """
+        if self._bound and schedule_events:
             raise SimulationError("a FaultInjector binds to one run only")
         self.schedule.validate_platform(
-            sim.config.num_cores, len(sim.config.services)
+            kernel.config.num_cores, len(kernel.config.services)
         )
-        self._sim = sim
-        for ev in self.schedule.platform_events():
-            sim.events.push(ev.time_ns, (-1, ev))
+        self._kernel = kernel
+        self._bound = True
+        if schedule_events:
+            for ev in self.schedule.platform_events():
+                kernel.state.events.push(ev.time_ns, (-1, ev))
 
     # ------------------------------------------------------------------
     def apply(self, event, t_ns: int) -> None:
@@ -108,24 +131,25 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
     def _apply_fail(self, core: int, t_ns: int) -> None:
-        sim = self._sim
+        kernel = self._kernel
+        st = kernel.state
         if core in self.cores_down:
             raise SimulationError(f"core {core} failed while already down")
         self.cores_down.add(core)
         # the packet in service dies with the core
-        pkt = sim.core_current_pkt[core]
-        if sim.core_busy[core] and pkt >= 0:
-            sim.killed_pkts.add(pkt)
+        pkt = st.core_current_pkt[core]
+        if st.core_busy[core] and pkt >= 0:
+            st.killed_pkts.add(pkt)
             self._drop_packet(pkt, t_ns)
             self.packets_killed += 1
-            sim.core_current_pkt[core] = -1
-        sim.core_busy[core] = True  # a dead core never pulls work
-        queued = sim.queues[core].drain()
-        sim.queues.mark_down(core)
+            st.core_current_pkt[core] = -1
+        st.core_busy[core] = True  # a dead core never pulls work
+        queued = st.queues[core].drain()
+        st.queues.mark_down(core)
         # notify before touching the queued packets so an aware
         # scheduler has already evicted the core when reassignment
         # re-consults select_core
-        sim.scheduler.on_core_down(core, t_ns)
+        kernel.bus.emit("core_down", core, t_ns)
         if self.drain_policy == "reassign":
             for p in queued:
                 self._reassign(p, t_ns)
@@ -135,18 +159,19 @@ class FaultInjector:
                 self.packets_drained += 1
 
     def _apply_recover(self, core: int, t_ns: int) -> None:
-        sim = self._sim
+        kernel = self._kernel
+        st = kernel.state
         if core not in self.cores_down:
             raise SimulationError(f"core {core} recovered while not down")
         self.cores_down.discard(core)
-        sim.queues.mark_up(core)
-        sim.core_busy[core] = False
-        sim.core_current_pkt[core] = -1
-        sim.core_last_service[core] = -1  # restarted: i-cache is cold
-        sim.scheduler.on_core_up(core, t_ns)
+        st.queues.mark_up(core)
+        st.core_busy[core] = False
+        st.core_current_pkt[core] = -1
+        st.core_last_service[core] = -1  # restarted: i-cache is cold
+        kernel.bus.emit("core_up", core, t_ns)
 
     def _apply_slowdown(self, core: int, factor: float) -> None:
-        self._sim.core_speed[core] = factor
+        self._kernel.state.core_speed[core] = factor
         if factor == 1.0:
             self.slow_cores.pop(core, None)
         else:
@@ -155,45 +180,47 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _drop_packet(self, pkt: int, t_ns: int) -> None:
         """Account one fault-caused loss (drop + reorder + record)."""
-        sim = self._sim
-        wl = sim.workload
+        kernel = self._kernel
+        st = kernel.state
+        wl = kernel.workload
         fid = int(wl.flow_id[pkt])
         sq = int(wl.seq[pkt])
-        m = sim.metrics
+        m = st.metrics
         m.dropped += 1
         m.dropped_per_service[int(wl.service_id[pkt])] += 1
         m.fault_dropped += 1
-        sim.reorder.on_drop(fid, sq)
-        if sim.config.record_departures:
-            sim._drop_records.append((fid, sq, t_ns))
+        st.reorder.on_drop(fid, sq)
+        if kernel.config.record_departures:
+            st.drop_records.append((fid, sq, t_ns))
 
     def _reassign(self, pkt: int, t_ns: int) -> None:
         """Re-dispatch one drained descriptor through the scheduler."""
-        sim = self._sim
-        wl = sim.workload
-        sched = sim.scheduler
+        kernel = self._kernel
+        st = kernel.state
+        wl = kernel.workload
+        sched = kernel.scheduler
         core = sched.select_core(
             int(wl.flow_id[pkt]),
             int(wl.service_id[pkt]),
             int(wl.flow_hash[pkt]),
             t_ns,
         )
-        if not 0 <= core < len(sim.core_busy):
+        if not 0 <= core < len(st.core_busy):
             raise SimulationError(
                 f"{sched.name} returned core {core} during reassignment"
             )
-        if sim.core_busy[core]:
-            q = sim.queues[core]
+        if st.core_busy[core]:
+            q = st.queues[core]
             if q.is_empty:
-                sched.on_queue_busy(core, t_ns)
+                kernel.bus.emit("queue_busy", core, t_ns)
             if q.offer(pkt):
                 self.packets_reassigned += 1
             else:
                 self._drop_packet(pkt, t_ns)
                 self.reassign_drops += 1
         else:
-            sched.on_queue_busy(core, t_ns)
-            sim._start_packet(core, pkt, t_ns)
+            kernel.bus.emit("queue_busy", core, t_ns)
+            kernel.start_packet(core, pkt, t_ns)
             self.packets_reassigned += 1
 
     # ------------------------------------------------------------------

@@ -3,11 +3,15 @@
 Generalises :class:`repro.sim.probes.QueueProbe`: a
 :class:`TelemetryProbe` owns a set of :class:`Sampler` objects and, on
 a fixed period, asks each for a row fragment; fragments merge into one
-record per sample time.  The simulator drives the probe through the
-same ``maybe_sample(t_ns, queues, metrics)`` hot-loop hook the legacy
-probe uses, and additionally calls :meth:`TelemetryProbe.bind` with the
-running :class:`~repro.sim.system.NetworkProcessorSim` so samplers can
-see the scheduler and the reorder detector, not just the queues.
+record per sample time.  The kernel drives the probe through the same
+``maybe_sample(t_ns, queues, metrics)`` hook the legacy probe uses —
+:meth:`~repro.sim.kernel.SimKernel.attach_probe` registers it as a
+``sample`` subscriber on the hook bus and calls
+:meth:`TelemetryProbe.bind` with the running
+:class:`~repro.sim.kernel.SimKernel` (which exposes the sampler view
+protocol: ``queues`` / ``metrics`` / ``scheduler`` / ``reorder`` /
+``injector``), so samplers can see the scheduler and the reorder
+detector, not just the queues.
 
 Period semantics (the part the legacy probe got wrong): at most **one**
 sample is recorded per ``maybe_sample`` call, timestamped with the
@@ -173,9 +177,10 @@ class TelemetryProbe:
         self._view = None
 
     # ------------------------------------------------------------------
-    def bind(self, sim) -> None:
-        """Attach to a running simulator (gives samplers full state)."""
-        self._view = sim
+    def bind(self, view) -> None:
+        """Attach to the run (a :class:`~repro.sim.kernel.SimKernel` or
+        anything else exposing the sampler view protocol)."""
+        self._view = view
 
     def maybe_sample(self, t_ns: int, queues, metrics) -> None:
         """Record at most one sample when *t_ns* crossed a boundary."""

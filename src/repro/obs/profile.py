@@ -1,11 +1,14 @@
 """Wall-clock profiling hooks around the simulator's hot loop.
 
-:func:`profile_run` wraps one :class:`NetworkProcessorSim` run with
-``perf_counter`` timing: total wall time, simulated packets per
-wall-second, completion events popped, and the share of wall time spent
-inside the scheduler's ``select_core`` (measured by shadowing the bound
-method with a timing wrapper for the duration of the run — zero cost
-when profiling is off, since the simulator is untouched).
+:func:`profile_run` wraps one run — a :class:`NetworkProcessorSim` or
+a bare :class:`~repro.sim.kernel.SimKernel`, anything with
+``scheduler`` / ``run()`` / ``events_popped`` — with ``perf_counter``
+timing: total wall time, simulated packets per wall-second, completion
+events popped, and the share of wall time spent inside the scheduler's
+``select_core`` (measured by shadowing the bound method with a timing
+wrapper for the duration of the run — zero cost when profiling is off,
+since the kernel re-reads the attribute per arrival and is otherwise
+untouched).
 
 The numbers feed ``benchmarks/bench_kernels.py`` and ad-hoc "where did
 the time go" questions; for statement-level attribution use cProfile as
@@ -51,7 +54,8 @@ class HotLoopProfile:
 
 
 def profile_run(sim) -> tuple:
-    """Run *sim* once, timing the hot loop; returns ``(report, profile)``.
+    """Run *sim* (simulator shell or kernel) once, timing the hot loop;
+    returns ``(report, profile)``.
 
     The scheduler's ``select_core`` is temporarily shadowed with a
     timing wrapper (an instance attribute, removed afterwards), so the

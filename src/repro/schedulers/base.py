@@ -98,6 +98,28 @@ class Scheduler(ABC):
     def on_core_up(self, core_id: int, t_ns: int) -> None:
         """The failed core came back and is idle again."""
 
+    #: bus event -> callback method, for :meth:`register_hooks`
+    _HOOK_METHODS = (
+        ("queue_empty", "on_queue_empty"),
+        ("queue_busy", "on_queue_busy"),
+        ("core_down", "on_core_down"),
+        ("core_up", "on_core_up"),
+    )
+
+    def register_hooks(self, bus) -> None:
+        """Subscribe this scheduler's callbacks on a
+        :class:`~repro.sim.hooks.HookBus`.
+
+        Only *overridden* callbacks are registered: a policy that keeps
+        the base-class no-op for an event stays off the bus entirely,
+        so the kernel skips the call instead of paying for a no-op —
+        subclasses that want every notification regardless can override
+        this to subscribe unconditionally.
+        """
+        for event, name in self._HOOK_METHODS:
+            if getattr(type(self), name) is not getattr(Scheduler, name):
+                bus.subscribe(event, getattr(self, name))
+
     def stats(self) -> dict[str, float]:
         """Scheduler-internal counters for reports (override to extend)."""
         return {}

@@ -9,6 +9,8 @@ egress reorder detector.
 """
 
 from repro.sim.engine import EventQueue
+from repro.sim.hooks import HookBus, HOOK_EVENTS
+from repro.sim.kernel import Checkpoint, SimKernel, SimState
 from repro.sim.queues import BoundedQueue, QueueBank
 from repro.sim.latency import CoreConfig, LatencyModel, TABLE_III_CORE
 from repro.sim.reorder import ReorderDetector
@@ -23,6 +25,11 @@ from repro.sim.probes import QueueProbe
 
 __all__ = [
     "EventQueue",
+    "HookBus",
+    "HOOK_EVENTS",
+    "Checkpoint",
+    "SimKernel",
+    "SimState",
     "BoundedQueue",
     "QueueBank",
     "CoreConfig",

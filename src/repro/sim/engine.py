@@ -81,6 +81,14 @@ class EventQueue:
             yield self.pop()
 
     def clear(self) -> None:
+        """Reset to the freshly constructed state.
+
+        The tie-break counter restarts too: a cleared queue must replay
+        a push sequence with the same (time, seq) pairs as a new one,
+        otherwise two runs sharing a recycled queue would order
+        simultaneous events differently.
+        """
         self._heap.clear()
+        self._seq = 0
         self._last_pop_ns = -1
         self.popped = 0

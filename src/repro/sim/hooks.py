@@ -1,0 +1,131 @@
+"""The unified hook bus: one registration point for everything that
+observes or perturbs a run.
+
+Probes, fault injectors and scheduler callbacks used to attach through
+bespoke side channels (``probe.bind(sim)`` plus per-arrival ``if probe``
+checks, ``injector.bind(sim)`` poking attributes onto the simulator,
+direct ``sched.on_queue_empty`` calls).  The :class:`HookBus` replaces
+all of them with named events:
+
+===================== =================================================
+event                 fired when
+===================== =================================================
+``queue_empty``       a core's input queue drained (idle-timer edge)
+``queue_busy``        a core's input queue went non-empty again
+``core_down``         a core failed (:mod:`repro.faults`)
+``core_up``           a failed core recovered
+``sample``            simulated time crossed an observation boundary
+``timed_event``       a non-completion payload surfaced from the heap
+===================== =================================================
+
+The kernel's hot loop never iterates subscriber lists: at activation it
+asks :meth:`dispatcher` for a pre-compiled callable per event — ``None``
+for zero subscribers (the kernel skips the call entirely), the bound
+callback itself for exactly one (the common case: a single scheduler,
+a single probe — zero overhead over the old direct call), and a small
+fan-out closure only when several hooks share an event.  After the
+first dispatcher is built the bus freezes; late subscriptions would be
+silently invisible to the already-compiled hot loop, so they raise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError, SimulationError
+
+__all__ = ["HOOK_EVENTS", "HookBus"]
+
+#: the closed set of events a :class:`~repro.sim.kernel.SimKernel` emits
+HOOK_EVENTS = (
+    "queue_empty",
+    "queue_busy",
+    "core_down",
+    "core_up",
+    "sample",
+    "timed_event",
+)
+
+
+class HookBus:
+    """Named-event registry with pre-compiled dispatch."""
+
+    __slots__ = ("_subs", "_frozen", "sample_period_ns")
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[Callable]] = {e: [] for e in HOOK_EVENTS}
+        self._frozen = False
+        #: finest requested ``sample`` period (None until a periodic
+        #: subscriber registers); the kernel steps the drain phase at
+        #: this grain so time series keep covering late departures
+        self.sample_period_ns: int | None = None
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, event: str, fn: Callable, *, period_ns: int | None = None
+    ) -> None:
+        """Register *fn* for *event* (before the run starts).
+
+        ``period_ns`` is meaningful only for ``sample`` subscribers: the
+        bus tracks the finest period so the kernel can pace its drain
+        phase to match.
+        """
+        if event not in self._subs:
+            raise ConfigError(
+                f"unknown hook event {event!r}; choose from {', '.join(HOOK_EVENTS)}"
+            )
+        if self._frozen:
+            raise SimulationError(
+                f"hook bus is frozen (the run already started); "
+                f"cannot subscribe to {event!r}"
+            )
+        self._subs[event].append(fn)
+        if period_ns is not None:
+            if event != "sample":
+                raise ConfigError("period_ns applies to 'sample' subscribers only")
+            if period_ns <= 0:
+                raise ConfigError(f"period_ns must be positive, got {period_ns}")
+            if self.sample_period_ns is None or period_ns < self.sample_period_ns:
+                self.sample_period_ns = period_ns
+
+    def callbacks(self, event: str) -> tuple[Callable, ...]:
+        """Snapshot of the subscribers of *event* (registration order)."""
+        return tuple(self._subs[event])
+
+    def has(self, event: str) -> bool:
+        return bool(self._subs[event])
+
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Reject further subscriptions (called once at kernel start)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    def dispatcher(self, event: str) -> Callable | None:
+        """A pre-compiled emitter for *event*, or None when unsubscribed.
+
+        Zero subscribers → ``None`` (callers skip the call); one → the
+        callback itself (no wrapping, same cost as a direct method
+        call); several → a closure fanning out in registration order.
+        """
+        cbs = tuple(self._subs[event])
+        if not cbs:
+            return None
+        if len(cbs) == 1:
+            return cbs[0]
+
+        def fan_out(*args, _cbs=cbs):
+            for cb in _cbs:
+                cb(*args)
+
+        return fan_out
+
+    def emit(self, event: str, *args) -> None:
+        """Call every subscriber of *event* (slow path, for rare events
+        like ``core_down``; the hot loop uses :meth:`dispatcher`)."""
+        for cb in self._subs[event]:
+            cb(*args)

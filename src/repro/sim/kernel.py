@@ -1,0 +1,640 @@
+"""The steppable simulation kernel.
+
+:class:`SimState` owns every piece of live run state — core arrays,
+per-flow placement memory, the queue bank, the event heap, metrics and
+the reorder detector — as plain fields instead of run-loop closure
+locals.  :class:`SimKernel` drives that state through ``step()`` /
+``run_until(t_ns)`` / ``run()``: the arrival loop and the drain phase
+are ordinary methods, and everything that observes or perturbs the run
+(probes, fault injectors, scheduler queue-edge callbacks) registers on
+one :class:`~repro.sim.hooks.HookBus` instead of poking attributes onto
+the simulator.
+
+Two properties are preserved from the original monolithic loop:
+
+* **hot-loop cost** — at activation the kernel compiles ``start_packet``
+  and ``complete_until`` as closures over the state containers (lists,
+  dicts, arrays mutated in place), so the per-packet path performs no
+  ``self.`` attribute lookups and allocates no per-packet objects;
+* **determinism** — advancing in any sequence of ``run_until`` horizons
+  produces bit-identical results to one uninterrupted ``run()``,
+  because events are popped in the same global time order either way.
+  That equivalence is what makes checkpoint/resume exact.
+
+Checkpointing: :meth:`SimKernel.checkpoint` pickles the state graph —
+``SimState`` *and* the scheduler *and* the injector in one blob, so
+shared references (the scheduler's bound ``LoadView`` is the state's
+queue bank) survive the round trip — and stamps it with config/workload
+fingerprints.  :meth:`SimKernel.resume` restores the blob against the
+same config and workload (which are deliberately *not* serialized:
+they are large, immutable, and reconstructible) and continues the run;
+the resumed run's :class:`~repro.sim.metrics.SimReport` is identical to
+an uninterrupted one.  See ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.schedulers.base import Scheduler
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventQueue
+from repro.sim.hooks import HookBus
+from repro.sim.metrics import SimMetrics, SimReport
+from repro.sim.queues import QueueBank
+from repro.sim.reorder import ReorderDetector
+from repro.sim.workload import Workload
+
+__all__ = ["SimState", "SimKernel", "Checkpoint", "CHECKPOINT_VERSION"]
+
+#: bump when the pickled state layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class SimState:
+    """All live state of one simulation run, explicitly owned.
+
+    Everything the run loop mutates lives here — nothing hides in
+    closure locals or instance attributes of the kernel.  The whole
+    object (together with the scheduler and injector sharing its
+    references) pickles into a :class:`Checkpoint`.
+    """
+
+    #: horizon up to which the run has advanced (``run_until`` bound)
+    now_ns: int
+    #: index of the next workload arrival to dispatch
+    next_arrival: int
+    #: the drain phase has completed
+    drained: bool
+    core_busy: list[bool]
+    core_last_service: list[int]
+    core_speed: list[float]
+    core_current_pkt: list[int]
+    #: in-flight packets tombstoned by a core failure
+    killed_pkts: set[int]
+    flow_last_core: np.ndarray
+    flow_migrated: np.ndarray
+    queues: QueueBank
+    events: EventQueue
+    metrics: SimMetrics
+    reorder: ReorderDetector
+    departures: list[tuple[int, int, int]]
+    drop_records: list[tuple[int, int, int]]
+
+    @classmethod
+    def initial(cls, config: SimConfig, workload: Workload) -> "SimState":
+        """Fresh pre-run state for *config* and *workload*."""
+        n_cores = config.num_cores
+        return cls(
+            now_ns=0,
+            next_arrival=0,
+            drained=False,
+            core_busy=[False] * n_cores,
+            core_last_service=[-1] * n_cores,
+            core_speed=[1.0] * n_cores,
+            core_current_pkt=[-1] * n_cores,
+            killed_pkts=set(),
+            flow_last_core=np.full(workload.num_flows, -1, dtype=np.int32),
+            flow_migrated=np.zeros(workload.num_flows, dtype=bool),
+            queues=QueueBank(config.num_cores, config.queue_capacity),
+            events=EventQueue(),
+            metrics=SimMetrics(len(config.services), config.num_cores),
+            reorder=ReorderDetector(),
+            departures=[],
+            drop_records=[],
+        )
+
+
+# ----------------------------------------------------------------------
+def _config_fingerprint(config: SimConfig) -> str:
+    svc = ",".join(
+        f"{config.services[s].base_ns}+{config.services[s].per_64b_ns}"
+        for s in range(len(config.services))
+    )
+    return (
+        f"cores={config.num_cores};cap={config.queue_capacity};"
+        f"fm={config.fm_penalty_ns};cc={config.cc_penalty_ns};"
+        f"drain={config.drain_ns};lat={int(config.collect_latencies)};"
+        f"dep={int(config.record_departures)};svc=[{svc}]"
+    )
+
+
+def _workload_fingerprint(workload: Workload) -> str:
+    n = workload.num_packets
+    arr_sum = int(workload.arrival_ns.sum()) if n else 0
+    flow_sum = int(workload.flow_id.sum()) if n else 0
+    return (
+        f"n={n};dur={workload.duration_ns};flows={workload.num_flows};"
+        f"svcs={workload.num_services};asum={arr_sum};fsum={flow_sum}"
+    )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A paused run, serialized: resume it with :meth:`SimKernel.resume`.
+
+    The ``blob`` pickles ``(SimState, scheduler, injector)`` in one
+    object graph; config and workload are validated by fingerprint at
+    resume time rather than stored.  ``to_bytes``/``from_bytes`` give a
+    file-ready wire form.
+    """
+
+    version: int
+    time_ns: int
+    blob: bytes
+    config_fingerprint: str
+    workload_fingerprint: str
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Checkpoint":
+        obj = pickle.loads(raw)
+        if not isinstance(obj, cls):
+            raise SimulationError(
+                f"not a simulation checkpoint: {type(obj).__name__}"
+            )
+        if obj.version != CHECKPOINT_VERSION:
+            raise SimulationError(
+                f"checkpoint version {obj.version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return obj
+
+
+# ----------------------------------------------------------------------
+def _no_timed_handler(event, t_ns):  # pragma: no cover - defensive
+    raise SimulationError(
+        f"timed event {event!r} at {t_ns} ns but no handler is subscribed"
+    )
+
+
+class SimKernel:
+    """Steppable network-processor simulation over an explicit state.
+
+    Lifecycle: construct (fresh state, scheduler bound and subscribed
+    to the bus) → optionally :meth:`attach_probe` / :meth:`attach_injector`
+    → any mix of :meth:`step` / :meth:`run_until` / :meth:`run` →
+    :class:`~repro.sim.metrics.SimReport`.  :meth:`checkpoint` may be
+    called between advances; :meth:`resume` restores one.
+
+    The kernel itself satisfies the sampler view protocol (``queues``,
+    ``metrics``, ``scheduler``, ``reorder``, ``injector`` attributes),
+    so rich probes bind to it directly.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        scheduler: Scheduler,
+        workload: Workload,
+        *,
+        bus: HookBus | None = None,
+        state: SimState | None = None,
+        _resumed: bool = False,
+    ) -> None:
+        if workload.num_services > len(config.services):
+            raise ConfigError(
+                f"workload uses {workload.num_services} services but the "
+                f"config defines only {len(config.services)}"
+            )
+        self.config = config
+        self.scheduler = scheduler
+        self.workload = workload
+        self.bus = bus if bus is not None else HookBus()
+        self.state = state if state is not None else SimState.initial(config, workload)
+        self.injector = None
+        self._finished = False
+        self._start_packet = None
+        self._complete_until = None
+        if not _resumed:
+            # a restored scheduler is already bound to the restored
+            # queue bank (shared pickle graph); re-binding would reset
+            # its placement state
+            scheduler.bind(self.state.queues)
+        scheduler.register_hooks(self.bus)
+
+    # -- sampler view protocol -----------------------------------------
+    @property
+    def queues(self) -> QueueBank:
+        return self.state.queues
+
+    @property
+    def metrics(self) -> SimMetrics:
+        return self.state.metrics
+
+    @property
+    def reorder(self) -> ReorderDetector:
+        return self.state.reorder
+
+    @property
+    def events_popped(self) -> int:
+        """Heap events popped so far (profiling signal)."""
+        return self.state.events.popped
+
+    @property
+    def now_ns(self) -> int:
+        return self.state.now_ns
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- hook attachment -----------------------------------------------
+    def attach_probe(self, probe) -> None:
+        """Register a periodic sampler on the bus.
+
+        Accepts anything with ``maybe_sample(t_ns, queues, metrics)``
+        (:class:`repro.sim.probes.QueueProbe`,
+        :class:`repro.obs.TelemetryProbe`, ...).  A probe with a
+        ``bind`` method is bound to the kernel so its samplers see the
+        scheduler, reorder detector and injector too.
+        """
+        if probe is None:
+            return
+        if hasattr(probe, "bind"):
+            probe.bind(self)
+        queues = self.state.queues
+        metrics = self.state.metrics
+        maybe_sample = probe.maybe_sample
+
+        def sample(t_ns: int) -> None:
+            maybe_sample(t_ns, queues, metrics)
+
+        self.bus.subscribe(
+            "sample", sample, period_ns=getattr(probe, "period_ns", None)
+        )
+
+    def attach_injector(self, injector, *, resumed: bool = False) -> None:
+        """Bind a :class:`repro.faults.FaultInjector` to this run.
+
+        The injector validates its schedule against the config, pushes
+        its timed events into the heap (skipped on resume — they are
+        already in the restored heap) and subscribes to ``timed_event``.
+        """
+        if injector is None:
+            return
+        if self.injector is not None:
+            raise SimulationError("a kernel takes at most one injector")
+        self.injector = injector
+        injector.bind(self, schedule_events=not resumed)
+        self.bus.subscribe("timed_event", injector.apply)
+
+    # -- activation: compile the hot loop ------------------------------
+    def _activate(self) -> None:
+        """Compile ``start_packet`` / ``complete_until`` over the state.
+
+        Closures capture the state *containers* (mutated in place), so
+        the per-packet path touches only locals — the original loop's
+        no-attribute-lookup property.  Re-run after :meth:`resume` to
+        re-close over the restored containers.
+        """
+        self.bus.freeze()
+        cfg = self.config
+        st = self.state
+        wl = self.workload
+        services = cfg.services
+        base_ns = [services[s].base_ns for s in range(len(services))]
+        per64_ns = [services[s].per_64b_ns for s in range(len(services))]
+        fm_pen = cfg.fm_penalty_ns
+        cc_pen = cfg.cc_penalty_ns
+        core_busy = st.core_busy
+        core_last_service = st.core_last_service
+        core_speed = st.core_speed
+        core_current_pkt = st.core_current_pkt
+        killed_pkts = st.killed_pkts
+        flow_last_core = st.flow_last_core
+        flow_migrated = st.flow_migrated
+        queues = st.queues
+        events = st.events
+        metrics = st.metrics
+        reorder = st.reorder
+        arrival = wl.arrival_ns
+        service = wl.service_id
+        flow = wl.flow_id
+        size = wl.size_bytes
+        seq = wl.seq
+        collect_lat = cfg.collect_latencies
+        latencies = metrics.latencies_ns
+        record_dep = cfg.record_departures
+        departures = st.departures
+        on_queue_empty = self.bus.dispatcher("queue_empty")
+        dispatch_timed = self.bus.dispatcher("timed_event") or _no_timed_handler
+
+        def start_packet(core: int, pkt: int, t_ns: int) -> None:
+            """Begin service of packet *pkt* on *core* at *t_ns*."""
+            sid = int(service[pkt])
+            fid = int(flow[pkt])
+            t_proc = base_ns[sid]
+            p64 = per64_ns[sid]
+            if p64:
+                t_proc += round(p64 * int(size[pkt]) / 64)
+            last = flow_last_core[fid]
+            migrated = last >= 0 and last != core
+            if migrated:
+                t_proc += fm_pen
+                metrics.flow_migration_events += 1
+                flow_migrated[fid] = True
+            flow_last_core[fid] = core
+            if core_last_service[core] != sid:
+                if core_last_service[core] >= 0:
+                    t_proc += cc_pen
+                    metrics.cold_cache_events += 1
+                core_last_service[core] = sid
+            speed = core_speed[core]
+            if speed != 1.0:  # degraded core (repro.faults CoreSlowdown)
+                t_proc = int(round(t_proc * speed))
+            core_busy[core] = True
+            core_current_pkt[core] = pkt
+            metrics.busy_ns_per_core[core] += t_proc
+            events.push(t_ns + t_proc, (core, pkt))
+
+        def complete_until(horizon_ns: int) -> None:
+            """Drain heap events with time <= horizon in time order."""
+            for t_done, (core, pkt) in events.pop_until(horizon_ns):
+                if core < 0:  # timed platform event, not a completion
+                    dispatch_timed(pkt, t_done)
+                    continue
+                if killed_pkts and pkt in killed_pkts:
+                    killed_pkts.discard(pkt)  # died with its core
+                    continue
+                metrics.departed += 1
+                metrics.last_depart_ns = t_done  # pops are time-ordered
+                reorder.on_depart(int(flow[pkt]), int(seq[pkt]))
+                if collect_lat:
+                    latencies.append(t_done - int(arrival[pkt]))
+                if record_dep:
+                    departures.append((int(flow[pkt]), int(seq[pkt]), t_done))
+                q = queues[core]
+                if q.is_empty:
+                    core_busy[core] = False
+                    core_current_pkt[core] = -1
+                    if on_queue_empty is not None:
+                        on_queue_empty(core, t_done)
+                else:
+                    start_packet(core, q.take(), t_done)
+
+        self._start_packet = start_packet
+        self._complete_until = complete_until
+
+    @property
+    def active(self) -> bool:
+        """The hot loop has been compiled (hook set is frozen)."""
+        return self._start_packet is not None
+
+    def start_packet(self, core: int, pkt: int, t_ns: int) -> None:
+        """Begin service of *pkt* on *core* (injector reassignment path)."""
+        if self._start_packet is None:
+            self._activate()
+        self._start_packet(core, pkt, t_ns)
+
+    # -- advancing the run ---------------------------------------------
+    def run_until(self, t_ns: int) -> None:
+        """Advance the run to *t_ns*.
+
+        Dispatches every arrival with ``arrival_ns <= t_ns`` — each
+        preceded by the completions and timed events due by then, in
+        strict time order — then drains remaining heap events up to
+        *t_ns*.  Splitting a run across any sequence of horizons yields
+        state (and ultimately a report) identical to one uninterrupted
+        :meth:`run`.
+        """
+        if self._finished:
+            raise SimulationError("kernel already finished")
+        if self._start_packet is None:
+            self._activate()
+        st = self.state
+        if t_ns < st.now_ns:
+            raise SimulationError(
+                f"run_until({t_ns}) is behind current time {st.now_ns}"
+            )
+        cfg = self.config
+        wl = self.workload
+        sched = self.scheduler
+        arrival = wl.arrival_ns
+        service = wl.service_id
+        flow = wl.flow_id
+        fhash = wl.flow_hash
+        seq = wl.seq
+        n = wl.num_packets
+        n_cores = cfg.num_cores
+        record_dep = cfg.record_departures
+        complete_until = self._complete_until
+        start_packet = self._start_packet
+        metrics = st.metrics
+        queues = st.queues
+        reorder = st.reorder
+        core_busy = st.core_busy
+        drop_records = st.drop_records
+        gen_per_service = metrics.generated_per_service
+        drop_per_service = metrics.dropped_per_service
+        sample = self.bus.dispatcher("sample")
+        on_queue_busy = self.bus.dispatcher("queue_busy")
+        i = st.next_arrival
+        try:
+            while i < n:
+                t = int(arrival[i])
+                if t > t_ns:
+                    break
+                complete_until(t)
+                if sample is not None:
+                    sample(t)
+                metrics.generated += 1
+                sid = int(service[i])
+                gen_per_service[sid] += 1
+                core = sched.select_core(int(flow[i]), sid, int(fhash[i]), t)
+                if not 0 <= core < n_cores:
+                    raise SimulationError(
+                        f"{sched.name} returned core {core} of {n_cores}"
+                    )
+                if core_busy[core]:
+                    q = queues[core]
+                    if q.is_empty and on_queue_busy is not None:
+                        on_queue_busy(core, t)
+                    if not q.offer(i):
+                        metrics.dropped += 1
+                        drop_per_service[sid] += 1
+                        if q.down:  # black-holed: the target core is dead
+                            metrics.fault_dropped += 1
+                        reorder.on_drop(int(flow[i]), int(seq[i]))
+                        if record_dep:
+                            drop_records.append((int(flow[i]), int(seq[i]), t))
+                else:
+                    if on_queue_busy is not None:
+                        on_queue_busy(core, t)
+                    start_packet(core, i, t)
+                i += 1
+        finally:
+            st.next_arrival = i
+        complete_until(t_ns)
+        st.now_ns = t_ns
+
+    def next_event_ns(self) -> int | None:
+        """Time of the next pending instant (arrival or heap event),
+        or None when nothing is left."""
+        st = self.state
+        nxt = st.events.peek_time()
+        if st.next_arrival < self.workload.num_packets:
+            t_arr = int(self.workload.arrival_ns[st.next_arrival])
+            nxt = t_arr if nxt is None else min(nxt, t_arr)
+        return nxt
+
+    def step(self) -> int | None:
+        """Advance to the next event instant and process everything due
+        at it; returns that time, or None when the run is quiescent.
+
+        Note: unbounded stepping runs past the drain bound the full
+        :meth:`run` would stop at — clamp against
+        ``last_arrival + config.drain_ns`` to reproduce ``run()``'s
+        abandonment of late in-flight packets.
+        """
+        nxt = self.next_event_ns()
+        if nxt is None:
+            return None
+        self.run_until(nxt)
+        return nxt
+
+    # -- drain + report -------------------------------------------------
+    def _drain(self, last_arrival_ns: int) -> None:
+        """Serve queued work after the last arrival (bounded).
+
+        With a periodic ``sample`` hook the drain advances one sample
+        period at a time so time series keep covering departures after
+        the last arrival; an empty heap means nothing is in flight (a
+        non-empty queue implies a busy core, which implies a pending
+        completion), so further boundaries would only repeat a frozen
+        state.
+        """
+        cfg = self.config
+        st = self.state
+        events = st.events
+        complete_until = self._complete_until
+        sample = self.bus.dispatcher("sample")
+        drain_end = last_arrival_ns + cfg.drain_ns
+        if sample is not None and cfg.drain_ns > 0:
+            step = self.bus.sample_period_ns or cfg.drain_ns
+            t = last_arrival_ns + step
+            while t <= st.now_ns:  # resumed mid-drain: catch up first
+                t += step
+            # stop early when the next heap event is past the drain
+            # bound: nothing can change before drain_end
+            while t < drain_end and events:
+                nxt = events.peek_time()
+                if nxt is not None and nxt > drain_end:
+                    break
+                complete_until(t)
+                sample(t)
+                t += step
+        if drain_end > st.now_ns:
+            complete_until(drain_end)
+            st.now_ns = drain_end
+        if sample is not None:
+            sample(max(drain_end, st.now_ns))
+        st.drained = True
+        # anything still in flight past the drain bound is abandoned
+        # unscored (counted as neither departed nor dropped)
+
+    def run(self) -> SimReport:
+        """Advance to completion (arrivals, then drain) and report.
+
+        Continues from wherever previous ``step``/``run_until`` calls —
+        or a restored checkpoint — left the state.
+        """
+        if self._finished:
+            raise SimulationError("kernel already finished")
+        if self._start_packet is None:
+            self._activate()
+        st = self.state
+        wl = self.workload
+        last_t = int(wl.arrival_ns[-1]) if wl.num_packets else 0
+        if last_t > st.now_ns or st.next_arrival < wl.num_packets:
+            self.run_until(max(last_t, st.now_ns))
+        self._drain(last_t)
+        return self.finalize()
+
+    def finalize(self) -> SimReport:
+        """Freeze the metrics into the immutable report (once)."""
+        if self._finished:
+            raise SimulationError("kernel already finished")
+        self._finished = True
+        st = self.state
+        return st.metrics.finalize(
+            duration_ns=self.workload.duration_ns,
+            out_of_order=st.reorder.out_of_order,
+            scheduler_name=self.scheduler.name,
+            scheduler_stats=self.scheduler.stats(),
+            migrated_flows=int(st.flow_migrated.sum()),
+            departures=tuple(st.departures),
+            drop_records=tuple(st.drop_records),
+        )
+
+    # -- checkpoint / resume --------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Serialize the paused run (between advances) for later resume.
+
+        Probes are *not* captured — re-attach fresh ones at resume; the
+        time series restarts but the simulation outcome is unaffected
+        (sampling never mutates run state).
+        """
+        if self._finished:
+            raise SimulationError("cannot checkpoint a finished run")
+        payload = (self.state, self.scheduler, self.injector)
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise SimulationError(
+                f"run state is not serializable: {exc}"
+            ) from exc
+        return Checkpoint(
+            version=CHECKPOINT_VERSION,
+            time_ns=self.state.now_ns,
+            blob=blob,
+            config_fingerprint=_config_fingerprint(self.config),
+            workload_fingerprint=_workload_fingerprint(self.workload),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: Checkpoint,
+        config: SimConfig,
+        workload: Workload,
+        *,
+        probe=None,
+        bus: HookBus | None = None,
+    ) -> "SimKernel":
+        """Rebuild a kernel from *checkpoint* and continue the run.
+
+        *config* and *workload* must be the ones the checkpointed run
+        used (validated by fingerprint).  The scheduler and injector
+        come back from the checkpoint with their state intact.
+        """
+        if checkpoint.version != CHECKPOINT_VERSION:
+            raise SimulationError(
+                f"checkpoint version {checkpoint.version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if _config_fingerprint(config) != checkpoint.config_fingerprint:
+            raise SimulationError(
+                "checkpoint was taken under a different SimConfig"
+            )
+        if _workload_fingerprint(workload) != checkpoint.workload_fingerprint:
+            raise SimulationError(
+                "checkpoint was taken against a different workload"
+            )
+        state, scheduler, injector = pickle.loads(checkpoint.blob)
+        kernel = cls(
+            config, scheduler, workload, bus=bus, state=state, _resumed=True
+        )
+        if injector is not None:
+            kernel.attach_injector(injector, resumed=True)
+        if probe is not None:
+            kernel.attach_probe(probe)
+        return kernel

@@ -1,55 +1,53 @@
 """The network-processor simulator (Fig. 6 wired together).
 
-Event structure: arrivals come pre-sorted in the
+Since the kernel refactor this module is a thin, stable shell: the run
+loop itself lives in :class:`repro.sim.kernel.SimKernel`, which owns an
+explicit :class:`~repro.sim.kernel.SimState` and exposes ``step()`` /
+``run_until(t_ns)`` / ``run()`` plus checkpoint/resume.  Probes, fault
+injectors and scheduler queue-edge callbacks all register on the
+kernel's :class:`~repro.sim.hooks.HookBus` — the old
+``probe.bind(sim)`` / ``injector.bind(sim)`` attribute-poking protocol
+is gone.  See ``docs/architecture.md`` for the layering.
+
+Event structure (unchanged): arrivals come pre-sorted in the
 :class:`~repro.sim.workload.Workload` arrays; the only heap-managed
-events are core completions.  Per arriving packet:
-
-1. drain all completions up to the arrival instant (cores pull their
-   next queued packet; queues that empty fire the scheduler's idle
-   notification);
-2. ask the scheduler for a target core;
-3. enqueue there — or drop if the 32-descriptor queue is full;
-4. an idle core starts the packet immediately; the processing delay is
-   ``T_proc + FM/CC penalties`` (eq. 3) where the FM (flow-migration)
-   penalty applies when the flow's previous packet ran on a different
-   core and the CC (cold-cache) penalty when the core's previous packet
-   belonged to a different service.
-
-After the last arrival the simulator drains for ``config.drain_ns`` so
-queued packets depart and get scored for reordering.
-
-Dynamic platform events (core failure/recovery/slowdown — see
-:mod:`repro.faults`) ride the same completion heap: a
-:class:`~repro.faults.FaultInjector` pushes its timed events as
-``(core=-1, event)`` payloads at bind time, and ``complete_until``
-dispatches them back to the injector in strict time order, interleaved
-with completions.  The injector mutates the live core state the run
-loop exposes on the instance (``core_busy``, ``core_speed``,
-``core_current_pkt``, the queue bank's down marks) and may kill the
-in-flight packet of a failing core by putting it in ``killed_pkts``.
+events are core completions and the fault injector's timed platform
+events.  Per arriving packet the kernel drains completions up to the
+arrival instant, asks the scheduler for a target core, enqueues there
+(or drops when the 32-descriptor queue is full), and an idle core
+starts the packet immediately with the eq. 3 processing delay
+(``T_proc`` + flow-migration/cold-cache penalties).  After the last
+arrival the run drains for ``config.drain_ns`` so queued packets depart
+and get scored for reordering.
 
 The hot loop indexes plain numpy-backed lists and dicts; per-packet
 Python objects are never created.
+
+:class:`NetworkProcessorSim` remains the one-shot convenience wrapper
+(construct with optional probe/injector, call :meth:`run` once); use
+:class:`~repro.sim.kernel.SimKernel` directly for stepping, pausing and
+checkpointing.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.errors import ConfigError, SimulationError
+from repro.errors import SimulationError
 from repro.schedulers.base import Scheduler
 from repro.sim.config import SimConfig
-from repro.sim.engine import EventQueue
-from repro.sim.metrics import SimMetrics, SimReport
-from repro.sim.queues import QueueBank
-from repro.sim.reorder import ReorderDetector
+from repro.sim.kernel import SimKernel
+from repro.sim.metrics import SimReport
 from repro.sim.workload import Workload
 
 __all__ = ["NetworkProcessorSim", "simulate"]
 
 
 class NetworkProcessorSim:
-    """One simulation run binding a scheduler to a workload."""
+    """One simulation run binding a scheduler to a workload.
+
+    A convenience shell over :class:`~repro.sim.kernel.SimKernel`: the
+    constructor wires the optional probe and injector onto the kernel's
+    hook bus, and :meth:`run` executes the whole run exactly once.
+    """
 
     def __init__(
         self,
@@ -59,33 +57,37 @@ class NetworkProcessorSim:
         probe=None,
         injector=None,
     ) -> None:
-        if workload.num_services > len(config.services):
-            raise ConfigError(
-                f"workload uses {workload.num_services} services but the "
-                f"config defines only {len(config.services)}"
-            )
+        self.kernel = SimKernel(config, scheduler, workload)
         self.config = config
         self.scheduler = scheduler
         self.workload = workload
-        self.queues = QueueBank(config.num_cores, config.queue_capacity)
-        self.reorder = ReorderDetector()
-        self.metrics = SimMetrics(len(config.services), config.num_cores)
-        #: optional :class:`repro.sim.probes.QueueProbe`-like sampler
+        #: optional periodic sampler (see :meth:`SimKernel.attach_probe`)
         self.probe = probe
         #: optional :class:`repro.faults.FaultInjector` (dynamic events)
         self.injector = injector
-        #: completion events popped by the last run (profiling signal)
-        self.events_popped = 0
+        if injector is not None:
+            self.kernel.attach_injector(injector)
+        if probe is not None:
+            self.kernel.attach_probe(probe)
         self._ran = False
-        # live run state, exposed for the injector (set up in run())
-        self.events: EventQueue | None = None
-        self.core_busy: list[bool] = []
-        self.core_speed: list[float] = []
-        self.core_current_pkt: list[int] = []
-        self.core_last_service: list[int] = []
-        self.killed_pkts: set[int] = set()
-        self._start_packet = None
-        self._drop_records: list[tuple[int, int, int]] = []
+
+    # live-state views (delegate to the kernel's explicit state) --------
+    @property
+    def queues(self):
+        return self.kernel.state.queues
+
+    @property
+    def metrics(self):
+        return self.kernel.state.metrics
+
+    @property
+    def reorder(self):
+        return self.kernel.state.reorder
+
+    @property
+    def events_popped(self) -> int:
+        """Heap events popped by the run (profiling signal)."""
+        return self.kernel.events_popped
 
     # ------------------------------------------------------------------
     def run(self) -> SimReport:
@@ -93,184 +95,7 @@ class NetworkProcessorSim:
         if self._ran:
             raise SimulationError("a NetworkProcessorSim instance runs once")
         self._ran = True
-
-        cfg = self.config
-        wl = self.workload
-        sched = self.scheduler
-        sched.bind(self.queues)
-
-        lat_model = cfg.latency_model()
-        services = cfg.services
-        fm_pen = cfg.fm_penalty_ns
-        cc_pen = cfg.cc_penalty_ns
-        # precompute T_proc constants per service for the hot loop
-        base_ns = [services[s].base_ns for s in range(len(services))]
-        per64_ns = [services[s].per_64b_ns for s in range(len(services))]
-
-        queues = self.queues
-        reorder = self.reorder
-        metrics = self.metrics
-        events = EventQueue()
-
-        n_cores = cfg.num_cores
-        core_busy = [False] * n_cores  # serving a packet right now
-        core_last_service = [-1] * n_cores  # i-cache content
-        core_speed = [1.0] * n_cores  # service-time multiplier (faults)
-        core_current_pkt = [-1] * n_cores  # in-flight packet per core
-        killed_pkts: set[int] = set()  # in-flight kills by the injector
-        flow_last_core = np.full(wl.num_flows, -1, dtype=np.int32)
-        flow_migrated = np.zeros(wl.num_flows, dtype=bool)
-
-        arrival = wl.arrival_ns
-        service = wl.service_id
-        flow = wl.flow_id
-        size = wl.size_bytes
-        fhash = wl.flow_hash
-        seq = wl.seq
-        n = wl.num_packets
-        collect_lat = cfg.collect_latencies
-        latencies = metrics.latencies_ns
-        record_dep = cfg.record_departures
-        departures: list[tuple[int, int, int]] = []
-        drop_records: list[tuple[int, int, int]] = []
-
-        def start_packet(core: int, pkt: int, t_ns: int) -> None:
-            """Begin service of packet *pkt* on *core* at *t_ns*."""
-            sid = int(service[pkt])
-            fid = int(flow[pkt])
-            t_proc = base_ns[sid]
-            p64 = per64_ns[sid]
-            if p64:
-                t_proc += round(p64 * int(size[pkt]) / 64)
-            last = flow_last_core[fid]
-            migrated = last >= 0 and last != core
-            if migrated:
-                t_proc += fm_pen
-                metrics.flow_migration_events += 1
-                flow_migrated[fid] = True
-            flow_last_core[fid] = core
-            if core_last_service[core] != sid:
-                if core_last_service[core] >= 0:
-                    t_proc += cc_pen
-                    metrics.cold_cache_events += 1
-                core_last_service[core] = sid
-            speed = core_speed[core]
-            if speed != 1.0:  # degraded core (repro.faults CoreSlowdown)
-                t_proc = int(round(t_proc * speed))
-            core_busy[core] = True
-            core_current_pkt[core] = pkt
-            metrics.busy_ns_per_core[core] += t_proc
-            events.push(t_ns + t_proc, (core, pkt))
-
-        injector = self.injector
-
-        def complete_until(horizon_ns: int) -> None:
-            """Drain completion events with time <= horizon."""
-            for t_done, (core, pkt) in events.pop_until(horizon_ns):
-                if core < 0:  # timed fault event, not a completion
-                    injector.apply(pkt, t_done)
-                    continue
-                if killed_pkts and pkt in killed_pkts:
-                    killed_pkts.discard(pkt)  # died with its core
-                    continue
-                metrics.departed += 1
-                metrics.last_depart_ns = t_done  # pops are time-ordered
-                reorder.on_depart(int(flow[pkt]), int(seq[pkt]))
-                if collect_lat:
-                    latencies.append(t_done - int(arrival[pkt]))
-                if record_dep:
-                    departures.append((int(flow[pkt]), int(seq[pkt]), t_done))
-                q = queues[core]
-                if q.is_empty:
-                    core_busy[core] = False
-                    core_current_pkt[core] = -1
-                    sched.on_queue_empty(core, t_done)
-                else:
-                    start_packet(core, q.take(), t_done)
-
-        # expose live state for the injector, then let it schedule its
-        # timed events into the (still empty) heap
-        self.events = events
-        self.core_busy = core_busy
-        self.core_speed = core_speed
-        self.core_current_pkt = core_current_pkt
-        self.core_last_service = core_last_service
-        self.killed_pkts = killed_pkts
-        self._start_packet = start_packet
-        self._drop_records = drop_records
-        if injector is not None:
-            injector.bind(self)
-
-        probe = self.probe
-        if probe is not None and hasattr(probe, "bind"):
-            probe.bind(self)  # full-state view for rich samplers
-        for i in range(n):
-            t = int(arrival[i])
-            complete_until(t)
-            if probe is not None:
-                probe.maybe_sample(t, queues, metrics)
-            metrics.generated += 1
-            sid = int(service[i])
-            metrics.generated_per_service[sid] += 1
-            core = sched.select_core(int(flow[i]), sid, int(fhash[i]), t)
-            if not 0 <= core < n_cores:
-                raise SimulationError(
-                    f"{sched.name} returned core {core} of {n_cores}"
-                )
-            if core_busy[core]:
-                q = queues[core]
-                if q.is_empty:
-                    sched.on_queue_busy(core, t)
-                if not q.offer(i):
-                    metrics.dropped += 1
-                    metrics.dropped_per_service[sid] += 1
-                    if q.down:  # black-holed: the target core is dead
-                        metrics.fault_dropped += 1
-                    reorder.on_drop(int(flow[i]), int(seq[i]))
-                    if record_dep:
-                        drop_records.append((int(flow[i]), int(seq[i]), t))
-            else:
-                sched.on_queue_busy(core, t)
-                start_packet(core, i, t)
-
-        # drain phase: let queued work depart (bounded).  With a probe
-        # attached the drain advances one probe period at a time so the
-        # time series keeps covering departures after the last arrival;
-        # an empty heap means nothing is in flight (a non-empty queue
-        # implies a busy core, which implies a pending completion), so
-        # further boundaries would only repeat a frozen state.
-        last_t = int(arrival[-1]) if n else 0
-        drain_end = last_t + cfg.drain_ns
-        if probe is not None and cfg.drain_ns > 0:
-            step = getattr(probe, "period_ns", 0) or cfg.drain_ns
-            t = last_t + step
-            # stop early when the next heap event is past the drain
-            # bound: nothing can change before drain_end, so further
-            # boundaries would only repeat a frozen state
-            while t < drain_end and events:
-                nxt = events.peek_time()
-                if nxt is not None and nxt > drain_end:
-                    break
-                complete_until(t)
-                probe.maybe_sample(t, queues, metrics)
-                t += step
-        complete_until(drain_end)
-        if probe is not None:
-            probe.maybe_sample(drain_end, queues, metrics)
-        self.events_popped = events.popped
-        # anything still in flight past the drain bound is abandoned
-        # unscored (counted as neither departed nor dropped)
-
-        duration = wl.duration_ns
-        return metrics.finalize(
-            duration_ns=duration,
-            out_of_order=reorder.out_of_order,
-            scheduler_name=sched.name,
-            scheduler_stats=sched.stats(),
-            migrated_flows=int(flow_migrated.sum()),
-            departures=tuple(departures),
-            drop_records=tuple(drop_records),
-        )
+        return self.kernel.run()
 
 
 def simulate(

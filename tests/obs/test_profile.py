@@ -50,3 +50,18 @@ class TestDataclass:
         )
         assert prof.packets_per_sec == 0.0
         assert prof.sched_share == 0.0
+
+
+class TestKernelProfiling:
+    def test_profiles_a_bare_kernel(self, small_workload, small_config):
+        # profile_run needs only scheduler/run()/events_popped, which
+        # SimKernel exposes directly; the per-arrival select_core
+        # attribute lookup makes the shadowing wrapper take effect
+        from repro.sim.kernel import SimKernel
+
+        sched = FCFSScheduler()
+        kernel = SimKernel(small_config, sched, small_workload)
+        report, prof = profile_run(kernel)
+        assert prof.packets == report.generated == small_workload.num_packets
+        assert prof.sched_calls == report.generated
+        assert "select_core" not in vars(sched)

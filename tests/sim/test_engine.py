@@ -91,3 +91,29 @@ class TestMisc:
         q.pop()
         q.clear()
         q.push(0, "ok")  # causality reset
+
+    def test_clear_resets_tie_break_counter(self):
+        # a cleared queue must replay a push sequence with the same
+        # (time, seq) heap entries as a fresh one; a stale counter
+        # would make recycled queues order (and serialize) differently
+        q = EventQueue()
+        for i in range(5):
+            q.push(10, i)
+        q.pop()
+        q.clear()
+        q.push(7, "first")
+        fresh = EventQueue()
+        fresh.push(7, "first")
+        assert q._heap == fresh._heap  # seq restarts at 0
+
+    def test_cleared_queue_matches_fresh_pop_order(self):
+        q = EventQueue()
+        q.push(3, "x")
+        q.clear()
+        fresh = EventQueue()
+        for target in (q, fresh):
+            target.push(5, "a")
+            target.push(5, "b")
+            target.push(2, "c")
+        assert [q.pop() for _ in range(3)] == [fresh.pop() for _ in range(3)]
+        assert q.popped == fresh.popped == 3
