@@ -1,0 +1,126 @@
+"""Peak-RSS benchmark of the streaming workload pipeline.
+
+The point of :class:`repro.sim.source.StreamingSource` is bounded
+memory: a streamed run holds O(chunk) packets resident while a
+materialized run holds all six per-packet columns (~40 bytes/packet)
+for the whole workload.  Each measurement runs one simulation in a
+fresh subprocess and reads ``ru_maxrss`` (a process-lifetime
+high-watermark, hence the subprocess per point) — the assertions are
+relational, not absolute timings.  The watermark is read from
+``/proc/self/status`` ``VmHWM`` rather than ``ru_maxrss``: the rusage
+figure is polluted by fork inheritance (the pre-exec copy of the
+parent's resident set counts toward the child's maximum, so a large
+pytest parent would floor every measurement), while ``VmHWM`` tracks
+only the post-exec address space.  ``ru_maxrss`` remains the fallback
+where ``/proc`` is unavailable.  Assertions:
+
+* streamed peak RSS stays (near) flat as the packet count scales;
+* materialized peak RSS grows with the packet count;
+* at the large size, streamed stays below materialized and below a
+  generous fixed ceiling over the interpreter baseline.
+
+``REPRO_BENCH_QUICK=1`` shrinks the packet counts (CI's bench-smoke
+job); the full run simulates 2M packets per mode.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+# (small, large) simulated packet targets per mode
+_SIZES = (75_000, 300_000) if _QUICK else (500_000, 2_000_000)
+#: streamed growth allowance small→large, and the fixed headroom over
+#: the interpreter baseline a streamed large run must stay within
+_FLAT_MB = 48.0
+_CEILING_MB = 160.0
+
+_CHILD = r"""
+import sys
+
+def peak_rss_kib():
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+mode, n_packets = sys.argv[1], int(sys.argv[2])
+from repro import units
+from repro.net.service import Service, ServiceSet
+from repro.schedulers.hash_static import StaticHashScheduler
+from repro.sim.config import SimConfig
+from repro.sim.generator import HoltWintersParams
+from repro.sim.source import StreamingSource
+from repro.sim.system import simulate
+from repro.sim.workload import build_workload
+from repro.trace.synthetic import preset_trace
+
+if mode != "baseline":
+    rate = 2e7  # offered pps; 16 us-cores give ~1.6e7 -> mild overload
+    duration = max(1, int(round(n_packets / rate * units.SEC)))
+    trace = preset_trace("caida-1", num_packets=20_000)
+    params = [HoltWintersParams(a=rate)]
+    if mode == "streamed":
+        workload = StreamingSource([trace], params, duration, seed=3)
+    else:
+        workload = build_workload([trace], params, duration_ns=duration,
+                                  seed=3)
+    config = SimConfig(
+        num_cores=16,
+        services=ServiceSet([Service(0, "ip-forward", units.us(1))]),
+        collect_latencies=False,
+    )
+    report = simulate(workload, StaticHashScheduler(), config)
+    assert report.generated >= n_packets // 2, report.generated
+print(peak_rss_kib())
+"""
+
+
+def _peak_rss_mb(mode: str, n_packets: int = 0) -> float:
+    """Peak RSS in MiB of one fresh-subprocess simulation."""
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(n_packets)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    # VmHWM / ru_maxrss are KiB on Linux
+    return int(out.stdout.strip().splitlines()[-1]) / 1024.0
+
+
+def test_streamed_rss_stays_flat_while_materialized_grows():
+    small, large = _SIZES
+    baseline = _peak_rss_mb("baseline")
+    streamed = {n: _peak_rss_mb("streamed", n) for n in (small, large)}
+    materialized = {n: _peak_rss_mb("materialized", n) for n in (small, large)}
+    print(
+        f"\n[rss MiB] baseline={baseline:.1f}  "
+        f"streamed {small}={streamed[small]:.1f} "
+        f"{large}={streamed[large]:.1f}  "
+        f"materialized {small}={materialized[small]:.1f} "
+        f"{large}={materialized[large]:.1f}"
+    )
+
+    # streamed memory is bounded: scaling the workload 4x barely moves it
+    assert streamed[large] - streamed[small] < _FLAT_MB
+    # ... and stays under a fixed ceiling over the interpreter baseline
+    assert streamed[large] < baseline + _CEILING_MB
+
+    # materialized memory scales with the packet count (6 columns *
+    # ~40 B/packet, plus build-time intermediates)
+    expected_growth_mb = (large - small) * 40 / (1024 * 1024)
+    assert materialized[large] - materialized[small] > expected_growth_mb / 2
+
+    # at the large size the streamed run is the cheaper one
+    assert streamed[large] < materialized[large]

@@ -86,11 +86,14 @@ from repro.schedulers import (
 from repro.sim import (
     HoltWinters,
     HoltWintersParams,
+    MaterializedSource,
+    PacketSource,
     PowerModel,
     QueueProbe,
     RestorationBuffer,
     SimConfig,
     SimReport,
+    StreamingSource,
     Workload,
     build_workload,
     restoration_cost,
@@ -130,8 +133,9 @@ __all__ = [
     "StaticHashScheduler", "TopKMigrationScheduler",
     "available_schedulers", "make_scheduler",
     # sim
-    "HoltWinters", "HoltWintersParams", "PowerModel", "QueueProbe",
-    "RestorationBuffer", "SimConfig", "SimReport", "Workload",
+    "HoltWinters", "HoltWintersParams", "MaterializedSource",
+    "PacketSource", "PowerModel", "QueueProbe", "RestorationBuffer",
+    "SimConfig", "SimReport", "StreamingSource", "Workload",
     "build_workload", "restoration_cost", "simulate",
     # obs (telemetry)
     "RunManifest", "TelemetryProbe", "load_run", "profile_run", "write_run",

@@ -52,7 +52,8 @@ def _workload(quick: bool, **kw):
 
 
 def _ablation_workload(
-    duration_ns: int, trace_packets: int, utilisation: float = 1.05
+    duration_ns: int, trace_packets: int, utilisation: float = 1.05,
+    stream: bool = False, chunk_size: int | None = None,
 ):
     """Workload factory for :class:`WorkloadSpec` (workload only)."""
     return single_service_workload(
@@ -60,6 +61,8 @@ def _ablation_workload(
         duration_ns=duration_ns,
         trace_packets=trace_packets,
         utilisation=utilisation,
+        stream=stream,
+        chunk_size=chunk_size,
     )[0]
 
 
@@ -80,6 +83,8 @@ def run_promote_threshold(
     quick: bool = False,
     thresholds: tuple[int, ...] = (8, 16, 32, 64, 128),
     jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> ExperimentResult:
     """Sweep the AFD's annex promotion threshold."""
     result = ExperimentResult(
@@ -87,7 +92,7 @@ def run_promote_threshold(
         columns=["threshold", "dropped", "ooo", "migrations", "promotions"],
         meta={"quick": quick},
     )
-    wspec = _ablation_workload_spec(quick)
+    wspec = _ablation_workload_spec(quick, stream=stream, chunk_size=chunk_size)
     specs = [
         RunSpec(
             workload=wspec,
@@ -112,6 +117,8 @@ def run_queue_depth(
     quick: bool = False,
     depths: tuple[int, ...] = (16, 32, 64, 128),
     jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> ExperimentResult:
     """Sweep the per-core input queue capacity."""
     result = ExperimentResult(
@@ -119,7 +126,7 @@ def run_queue_depth(
         columns=["queue_depth", "dropped", "ooo", "p_drop"],
         meta={"quick": quick},
     )
-    wspec = _ablation_workload_spec(quick)
+    wspec = _ablation_workload_spec(quick, stream=stream, chunk_size=chunk_size)
     specs = [
         RunSpec(
             workload=wspec,
@@ -142,6 +149,8 @@ def run_migration_table(
     quick: bool = False,
     capacities: tuple[int, ...] = (8, 32, 128, 1024),
     jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> ExperimentResult:
     """Sweep the migration (pin) table capacity."""
     result = ExperimentResult(
@@ -149,7 +158,7 @@ def run_migration_table(
         columns=["entries", "dropped", "ooo", "migrations", "evictions"],
         meta={"quick": quick},
     )
-    wspec = _ablation_workload_spec(quick)
+    wspec = _ablation_workload_spec(quick, stream=stream, chunk_size=chunk_size)
     specs = [
         RunSpec(
             workload=wspec,
@@ -174,6 +183,8 @@ def run_pin_weight(
     quick: bool = False,
     weights: tuple[int, ...] = (0, 8, 16, 32),
     jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> ExperimentResult:
     """Sweep the pin-aware placement penalty (0 = the paper's literal
     findMinQ)."""
@@ -182,7 +193,7 @@ def run_pin_weight(
         columns=["pin_weight", "dropped", "ooo", "migrated_flows"],
         meta={"quick": quick},
     )
-    wspec = _ablation_workload_spec(quick)
+    wspec = _ablation_workload_spec(quick, stream=stream, chunk_size=chunk_size)
     specs = [
         RunSpec(
             workload=wspec,
@@ -247,18 +258,28 @@ def run_power_gating(
     return result
 
 
-def run(quick: bool = False, jobs: int = 1) -> list[ExperimentResult]:
+def run(
+    quick: bool = False,
+    jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
+) -> list[ExperimentResult]:
     """All ablations.
 
     ``jobs`` is forwarded to the batched sweeps (0 = auto); the
     restoration and power studies post-process a single run and stay
-    inline.
+    inline.  ``stream`` makes the batched sweeps generate their
+    workloads chunk by chunk (identical rows, bounded memory).
     """
     return [
-        run_promote_threshold(quick=quick, jobs=jobs),
-        run_queue_depth(quick=quick, jobs=jobs),
-        run_migration_table(quick=quick, jobs=jobs),
-        run_pin_weight(quick=quick, jobs=jobs),
+        run_promote_threshold(quick=quick, jobs=jobs, stream=stream,
+                              chunk_size=chunk_size),
+        run_queue_depth(quick=quick, jobs=jobs, stream=stream,
+                        chunk_size=chunk_size),
+        run_migration_table(quick=quick, jobs=jobs, stream=stream,
+                            chunk_size=chunk_size),
+        run_pin_weight(quick=quick, jobs=jobs, stream=stream,
+                       chunk_size=chunk_size),
         run_restoration(quick=quick),
         run_power_gating(quick=quick),
     ]

@@ -11,7 +11,10 @@ loop + process-pool plumbing.  :func:`run_batch` centralises it:
 * specs sharing a :class:`WorkloadSpec` are grouped so the workload is
   built **once per group** (per worker), not once per run — workload
   synthesis (trace generation + Holt-Winters pacing) is a large slice
-  of a harness's wall time;
+  of a harness's wall time.  A spec's factory may return a materialized
+  :class:`~repro.sim.workload.Workload` *or* a streaming
+  :class:`~repro.sim.source.PacketSource`: the kernel clones a source
+  per run, so the one-build-per-group sharing holds either way;
 * groups execute through :func:`repro.util.parallel.parallel_map`
   (``jobs=1`` inline, ``0`` auto), and results come back in the input
   spec order regardless of grouping or pool scheduling.

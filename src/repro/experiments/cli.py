@@ -15,17 +15,22 @@ from pathlib import Path
 
 from repro.experiments import ablations, fig2, fig7, fig8, fig9, timing
 from repro.faults import harness as faults_harness
+from repro.sim.source import DEFAULT_CHUNK_SIZE
 
 __all__ = ["main"]
 
+# harnesses that build their workloads through the streaming-capable
+# factories accept stream/chunk_size; the rest ignore the flags
 _EXPERIMENTS = {
-    "fig2": lambda quick, jobs: fig2.run(quick=quick),
-    "fig7": lambda quick, jobs: [fig7.run(quick=quick, jobs=jobs)],
-    "fig8": lambda quick, jobs: fig8.run(quick=quick),
-    "fig9": lambda quick, jobs: [fig9.run(quick=quick, jobs=jobs)],
-    "timing": lambda quick, jobs: timing.run(quick=quick),
-    "ablations": lambda quick, jobs: ablations.run(quick=quick, jobs=jobs),
-    "faults": lambda quick, jobs: [faults_harness.run(quick=quick, jobs=jobs)],
+    "fig2": lambda quick, jobs, **_: fig2.run(quick=quick),
+    "fig7": lambda quick, jobs, **st: [fig7.run(quick=quick, jobs=jobs, **st)],
+    "fig8": lambda quick, jobs, **_: fig8.run(quick=quick),
+    "fig9": lambda quick, jobs, **st: [fig9.run(quick=quick, jobs=jobs, **st)],
+    "timing": lambda quick, jobs, **_: timing.run(quick=quick),
+    "ablations": lambda quick, jobs, **st: ablations.run(
+        quick=quick, jobs=jobs, **st),
+    "faults": lambda quick, jobs, **_: [
+        faults_harness.run(quick=quick, jobs=jobs)],
 }
 
 
@@ -58,6 +63,16 @@ def main(argv: list[str] | None = None) -> int:
         help="parallel worker processes for fig7/fig9/ablations/faults "
              "(0 = auto)",
     )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="generate workloads chunk by chunk (bounded memory, "
+             "bit-identical rows; fig7/fig9/ablations)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="packets per streamed chunk (needs --stream; default "
+             f"{DEFAULT_CHUNK_SIZE})",
+    )
     args = parser.parse_args(argv)
 
     selected = args.experiments or ["all"]
@@ -69,7 +84,10 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in names:
         t0 = time.perf_counter()
-        results = _EXPERIMENTS[name](args.quick, args.jobs)
+        results = _EXPERIMENTS[name](
+            args.quick, args.jobs,
+            stream=args.stream, chunk_size=args.chunk_size,
+        )
         elapsed = time.perf_counter() - t0
         for i, result in enumerate(results):
             print(result.format())

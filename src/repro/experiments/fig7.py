@@ -70,7 +70,8 @@ def run_scenario(
 
 
 def _scenario_workload(
-    scenario: str, duration_ns: int, trace_packets: int, seed: int
+    scenario: str, duration_ns: int, trace_packets: int, seed: int,
+    stream: bool = False, chunk_size: int | None = None,
 ):
     """Workload factory for :class:`WorkloadSpec` (scenario by name —
     spec kwargs must be hashable)."""
@@ -79,6 +80,8 @@ def _scenario_workload(
         duration_ns=duration_ns,
         trace_packets=trace_packets,
         seed=seed,
+        stream=stream,
+        chunk_size=chunk_size,
     )
 
 
@@ -94,12 +97,19 @@ def run(
     duration_ns: int | None = None,
     trace_packets: int | None = None,
     jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> ExperimentResult:
     """Fig. 7(a-c): all scenarios x all schedulers, one row each.
 
     Runs go through :func:`repro.experiments.batch.run_batch`: the
     three schedulers of a scenario share one workload build, and
-    ``jobs`` spreads scenarios over a process pool (0 = auto).
+    ``jobs`` spreads scenarios over a process pool (0 = auto).  With
+    ``stream=True`` each group builds a chunked
+    :class:`~repro.sim.source.StreamingSource` instead of a
+    materialized workload (identical rows, bounded memory) — the
+    kernel clones the source per run, so one build per group still
+    holds.
     """
     names = scenarios or tuple(SCENARIOS)
     if duration_ns is None:
@@ -125,6 +135,8 @@ def run(
             duration_ns=duration_ns,
             trace_packets=trace_packets,
             seed=seed,
+            stream=stream,
+            chunk_size=chunk_size,
         )
         for sched_name in ("fcfs", "afs", "laps"):
             specs.append(RunSpec(

@@ -28,6 +28,7 @@ from repro.schedulers.hash_static import StaticHashScheduler
 from repro.schedulers.oracle import ExactTopKDetector, TopKMigrationScheduler
 from repro.sim.config import SimConfig
 from repro.sim.generator import HoltWintersParams
+from repro.sim.source import DEFAULT_CHUNK_SIZE, StreamingSource
 from repro.sim.workload import build_workload
 from repro.trace.models import TRIMODAL_INTERNET_SIZES
 from repro.trace.synthetic import preset_trace
@@ -70,22 +71,39 @@ def single_service_workload(
     duration_ns: int = units.ms(15),
     trace_packets: int = 200_000,
     seed: int = 7,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ):
-    """IP-forwarding-only workload at *utilisation* of ideal capacity."""
+    """IP-forwarding-only workload at *utilisation* of ideal capacity.
+
+    ``stream=True`` returns a chunked
+    :class:`~repro.sim.source.StreamingSource` in place of the
+    materialized workload (same packets, O(chunk) memory).
+    """
     service = ip_forward_service()
     trace = preset_trace(trace_name, num_packets=trace_packets)
     capacity = service.capacity_pps([num_cores], TRIMODAL_INTERNET_SIZES.mean)
     params = [HoltWintersParams(a=utilisation * capacity)]
-    workload = build_workload([trace], params, duration_ns=duration_ns, seed=seed)
+    if stream:
+        workload = StreamingSource(
+            [trace], params, duration_ns, seed=seed,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        )
+    else:
+        workload = build_workload(
+            [trace], params, duration_ns=duration_ns, seed=seed
+        )
     return workload, single_service_config(num_cores)
 
 
 def _fig9_workload(
-    trace: str, duration_ns: int, trace_packets: int, seed: int
+    trace: str, duration_ns: int, trace_packets: int, seed: int,
+    stream: bool = False, chunk_size: int | None = None,
 ):
     """Workload factory for :class:`WorkloadSpec` (workload only)."""
     return single_service_workload(
-        trace, duration_ns=duration_ns, trace_packets=trace_packets, seed=seed
+        trace, duration_ns=duration_ns, trace_packets=trace_packets,
+        seed=seed, stream=stream, chunk_size=chunk_size,
     )[0]
 
 
@@ -118,6 +136,8 @@ def run(
     k_sweep: tuple[int, ...] = K_SWEEP,
     seed: int = 7,
     jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> ExperimentResult:
     """Fig. 9(a-c): every policy on every trace, relative to AFS.
 
@@ -149,6 +169,8 @@ def run(
             duration_ns=duration_ns,
             trace_packets=trace_packets,
             seed=seed,
+            stream=stream,
+            chunk_size=chunk_size,
         )
         for policy in policies:
             specs.append(RunSpec(

@@ -10,6 +10,7 @@ from repro import units
 from repro.experiments.params import Scenario, scaled_params
 from repro.net.service import ServiceSet, default_services
 from repro.sim.config import SimConfig
+from repro.sim.source import DEFAULT_CHUNK_SIZE, PacketSource, StreamingSource
 from repro.sim.workload import Workload, build_workload
 from repro.trace.models import TRIMODAL_INTERNET_SIZES
 from repro.trace.synthetic import preset_trace
@@ -132,11 +133,16 @@ def scenario_workload(
     seed: int = 0,
     time_compression: float = 1000.0,
     services: ServiceSet | None = None,
-) -> Workload:
+    stream: bool = False,
+    chunk_size: int | None = None,
+) -> Workload | PacketSource:
     """Build the Table VI scenario's workload at the compressed scale.
 
     The paper's 60 s runs become ``duration_ns`` (default 60 ms: the
     default ``time_compression`` of 1000 maps seconds to milliseconds).
+    With ``stream=True`` the return value is a lazily-generated
+    :class:`~repro.sim.source.StreamingSource` (``chunk_size`` packets
+    resident at a time) producing the bit-identical packet sequence.
     """
     services = services or default_services()
     traces = [preset_trace(n, num_packets=trace_packets) for n in scenario.trace_names]
@@ -153,4 +159,9 @@ def scenario_workload(
         duration_s=duration_ns / units.SEC,
         time_compression=time_compression,
     )
+    if stream:
+        return StreamingSource(
+            traces, params, duration_ns, seed=seed,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        )
     return build_workload(traces, params, duration_ns=duration_ns, seed=seed)

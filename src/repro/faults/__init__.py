@@ -30,6 +30,7 @@ from repro.faults.harness import FAULT_SCENARIOS, FaultScenario, run_scenario
 from repro.faults.injector import (
     DRAIN_POLICIES,
     FaultInjector,
+    TrafficTransformSource,
     apply_traffic_events,
 )
 from repro.faults.metrics import (
@@ -49,6 +50,7 @@ __all__ = [
     "FaultSchedule",
     "DRAIN_POLICIES",
     "FaultInjector",
+    "TrafficTransformSource",
     "apply_traffic_events",
     "EventImpact",
     "ResilienceSummary",

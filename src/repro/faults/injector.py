@@ -25,8 +25,11 @@ each through the bus; :meth:`apply` then mutates the kernel's explicit
   packets that start from now on.
 
 Traffic events never reach the injector: arrival processes are
-pre-generated arrays, so :func:`apply_traffic_events` reshapes the
-workload *before* the run.  Everything here is deterministic — the same
+generated ahead of dispatch, so :func:`apply_traffic_events` reshapes a
+materialized workload *before* the run, and
+:class:`TrafficTransformSource` applies the identical transform chunk
+by chunk over any :class:`~repro.sim.source.PacketSource` (streamed
+fault scenarios).  Everything here is deterministic — the same
 workload, scheduler seed and schedule produce byte-identical metrics.
 
 Checkpointing: the injector pickles inside the kernel's
@@ -48,9 +51,15 @@ from repro.faults.events import (
     ServiceFlap,
     TrafficSurge,
 )
+from repro.sim.source import PacketSource, WorkloadChunk
 from repro.sim.workload import Workload
 
-__all__ = ["DRAIN_POLICIES", "FaultInjector", "apply_traffic_events"]
+__all__ = [
+    "DRAIN_POLICIES",
+    "FaultInjector",
+    "TrafficTransformSource",
+    "apply_traffic_events",
+]
 
 #: What happens to a failing core's queued descriptors.
 DRAIN_POLICIES = ("drop", "reassign")
@@ -182,12 +191,13 @@ class FaultInjector:
         """Account one fault-caused loss (drop + reorder + record)."""
         kernel = self._kernel
         st = kernel.state
-        wl = kernel.workload
-        fid = int(wl.flow_id[pkt])
-        sq = int(wl.seq[pkt])
+        win = kernel.window  # live packets always sit inside the window
+        li = pkt - win.base
+        fid = int(win.flow_id[li])
+        sq = int(win.seq[li])
         m = st.metrics
         m.dropped += 1
-        m.dropped_per_service[int(wl.service_id[pkt])] += 1
+        m.dropped_per_service[int(win.service_id[li])] += 1
         m.fault_dropped += 1
         st.reorder.on_drop(fid, sq)
         if kernel.config.record_departures:
@@ -197,12 +207,13 @@ class FaultInjector:
         """Re-dispatch one drained descriptor through the scheduler."""
         kernel = self._kernel
         st = kernel.state
-        wl = kernel.workload
+        win = kernel.window
+        li = pkt - win.base
         sched = kernel.scheduler
         core = sched.select_core(
-            int(wl.flow_id[pkt]),
-            int(wl.service_id[pkt]),
-            int(wl.flow_hash[pkt]),
+            int(win.flow_id[li]),
+            int(win.service_id[li]),
+            int(win.flow_hash[li]),
             t_ns,
         )
         if not 0 <= core < len(st.core_busy):
@@ -240,25 +251,21 @@ class FaultInjector:
 # ----------------------------------------------------------------------
 # traffic-side events (workload transform)
 # ----------------------------------------------------------------------
-def apply_traffic_events(workload: Workload, schedule: FaultSchedule) -> Workload:
-    """Reshape *workload* per the schedule's traffic events.
+def _transform_arrival_batch(
+    arrival: np.ndarray, service: np.ndarray, events
+) -> np.ndarray:
+    """Per-packet composed traffic transform (new int64 array).
 
-    Events apply in time order to the already-transformed arrival
-    times.  Both transforms are monotone within a service — a surge
-    compresses its window toward the window start, a flap defers outage
-    arrivals to the outage end — and the final stable re-sort keeps
-    equal-time packets in their original relative order, so per-flow
-    sequence numbers stay nondecreasing along the new arrival order and
-    the reorder accounting remains valid.
-
-    Returns *workload* unchanged when the schedule has no traffic
-    events.
+    Events apply sequentially in canonical schedule order, each masking
+    on the *already-transformed* times; the composition is purely
+    elementwise, so whole-array and per-chunk application produce
+    identical values — :func:`apply_traffic_events` and
+    :class:`TrafficTransformSource` both route through here (and the
+    scalar twin :func:`_transform_arrival_scalar` mirrors the exact
+    float-divide-then-truncate surge arithmetic), which is what keeps
+    the two paths bit-identical.
     """
-    events = schedule.traffic_events()
-    if not events:
-        return workload
-    arrival = workload.arrival_ns.astype(np.int64, copy=True)
-    service = workload.service_id
+    arrival = arrival.astype(np.int64, copy=True)
     for ev in events:
         if isinstance(ev, TrafficSurge):
             t0, t1 = ev.time_ns, ev.time_ns + ev.duration_ns
@@ -276,6 +283,52 @@ def apply_traffic_events(workload: Workload, schedule: FaultSchedule) -> Workloa
                 arrival[mask] = end
         else:  # pragma: no cover - kinds are closed over this module
             raise ConfigError(f"unknown traffic event {ev!r}")
+    return arrival
+
+
+def _transform_arrival_scalar(t_ns: int, service_id: int, events) -> int:
+    """Scalar twin of :func:`_transform_arrival_batch` (same arithmetic,
+    including the surge's float division + int truncation)."""
+    t = int(t_ns)
+    for ev in events:
+        if isinstance(ev, TrafficSurge):
+            if (
+                service_id == ev.service_id
+                and ev.time_ns <= t < ev.time_ns + ev.duration_ns
+            ):
+                t = ev.time_ns + int((t - ev.time_ns) / ev.factor)
+        elif isinstance(ev, ServiceFlap):
+            if service_id == ev.service_id:
+                for start, end in ev.outage_windows():
+                    if start <= t < end:
+                        t = end
+        else:  # pragma: no cover - kinds are closed over this module
+            raise ConfigError(f"unknown traffic event {ev!r}")
+    return t
+
+
+def apply_traffic_events(workload: Workload, schedule: FaultSchedule) -> Workload:
+    """Reshape *workload* per the schedule's traffic events.
+
+    Events apply in time order to the already-transformed arrival
+    times.  Both transforms are monotone within a service — a surge
+    compresses its window toward the window start, a flap defers outage
+    arrivals to the outage end — and the final stable re-sort keeps
+    equal-time packets in their original relative order, so per-flow
+    sequence numbers stay nondecreasing along the new arrival order and
+    the reorder accounting remains valid.
+
+    Returns *workload* unchanged when the schedule has no traffic
+    events.  For the chunked equivalent (identical output, O(chunk)
+    memory) wrap the run's :class:`~repro.sim.source.PacketSource` in a
+    :class:`TrafficTransformSource`.
+    """
+    events = schedule.traffic_events()
+    if not events:
+        return workload
+    arrival = _transform_arrival_batch(
+        workload.arrival_ns, workload.service_id, events
+    )
     order = np.argsort(arrival, kind="stable")
     return Workload(
         arrival_ns=arrival[order],
@@ -288,3 +341,133 @@ def apply_traffic_events(workload: Workload, schedule: FaultSchedule) -> Workloa
         num_services=workload.num_services,
         duration_ns=workload.duration_ns,
     )
+
+
+class TrafficTransformSource(PacketSource):
+    """Streaming :func:`apply_traffic_events`: a :class:`PacketSource`
+    whose chunks are the inner source's packets with the schedule's
+    traffic events applied — bit-identical to transforming the whole
+    materialized workload, at O(chunk + displaced packets) memory.
+
+    Soundness: each per-service composed transform is *monotone
+    nondecreasing* (a surge with ``factor > 1`` compresses its window
+    toward the window start without crossing the boundary; a flap
+    defers outage arrivals to the outage end), so once the inner stream
+    has advanced to original time ``W``, no future packet of service
+    *s* can land before ``g_s(W)``.  Ingested packets are transformed,
+    merged into a pending pool stable-sorted by transformed time, and
+    released up to ``min_s g_s(W)``; equal transformed times keep input
+    order, matching the whole-array stable argsort exactly.
+    """
+
+    def __init__(self, inner: PacketSource, schedule: FaultSchedule) -> None:
+        super().__init__()
+        self.inner = inner
+        self.schedule = schedule
+        self._events = schedule.traffic_events()
+        self.num_packets = inner.num_packets
+        self.num_flows = inner.num_flows
+        self.num_services = inner.num_services
+        self.duration_ns = inner.duration_ns
+        self.chunk_size = inner.chunk_size
+        self._reset()
+
+    def _reset(self) -> None:
+        # pending packets: transformed, stable-sorted by new arrival
+        # time (col 0); None until first ingest
+        self._pending: tuple[np.ndarray, ...] | None = None
+        self._ingested_ns = -1  # last original arrival seen
+        self._emitted = 0
+        self._inner_done = False
+
+    # -- cursor lifecycle ----------------------------------------------
+    def clone(self) -> "TrafficTransformSource":
+        return TrafficTransformSource(self.inner.clone(), self.schedule)
+
+    def snapshot(self) -> dict:
+        return {
+            "inner": self.inner.snapshot(),
+            "pending": self._pending,
+            "ingested_ns": self._ingested_ns,
+            "emitted": self._emitted,
+            "inner_done": self._inner_done,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._reset()
+        self.inner.restore(snapshot["inner"])
+        self._pending = snapshot["pending"]
+        self._ingested_ns = int(snapshot["ingested_ns"])
+        self._emitted = int(snapshot["emitted"])
+        self._inner_done = bool(snapshot["inner_done"])
+
+    # -- the stream transform ------------------------------------------
+    def next_chunk(self):
+        if not self._events:  # pass-through, re-based for our counter
+            chunk = self.inner.next_chunk()
+            if chunk is None:
+                return None
+            base = self._emitted
+            self._emitted += len(chunk)
+            return WorkloadChunk(
+                base, chunk.arrival_ns, chunk.service_id, chunk.flow_id,
+                chunk.size_bytes, chunk.flow_hash, chunk.seq,
+            )
+        target = self.chunk_size if self.chunk_size else max(self.num_packets, 1)
+        releasable = 0
+        while not self._inner_done:
+            releasable = self._releasable()
+            if releasable >= target:
+                break
+            chunk = self.inner.next_chunk()
+            if chunk is None:
+                self._inner_done = True
+                releasable = (
+                    self._pending[0].shape[0] if self._pending is not None else 0
+                )
+            else:
+                self._ingest(chunk)
+        if releasable == 0:
+            return None
+        n = min(target, releasable)
+        cols = tuple(c[:n] for c in self._pending)
+        rest = self._pending[0].shape[0] - n
+        self._pending = tuple(c[n:] for c in self._pending) if rest else None
+        base = self._emitted
+        self._emitted += n
+        return WorkloadChunk(base, *cols)
+
+    def _ingest(self, chunk) -> None:
+        """Transform one inner chunk and merge it into the pending pool
+        (stable by transformed time: pending packets were ingested
+        earlier, so concatenating them first keeps ties in input order).
+        """
+        arrival = _transform_arrival_batch(
+            chunk.arrival_ns, chunk.service_id, self._events
+        )
+        if len(chunk):
+            self._ingested_ns = int(chunk.arrival_ns[-1])
+        cols = (
+            arrival, chunk.service_id, chunk.flow_id,
+            chunk.size_bytes, chunk.flow_hash, chunk.seq,
+        )
+        if self._pending is not None:
+            cols = tuple(
+                np.concatenate([p, c]) for p, c in zip(self._pending, cols)
+            )
+        order = np.argsort(cols[0], kind="stable")
+        self._pending = tuple(c[order] for c in cols)
+
+    def _releasable(self) -> int:
+        """How many pending packets can never be preceded by a future
+        inner packet: those at or below ``min_s g_s(W)``."""
+        if self._pending is None or self._ingested_ns < 0:
+            return 0
+        horizon = min(
+            _transform_arrival_scalar(self._ingested_ns, sid, self._events)
+            for sid in range(self.num_services)
+        )
+        # a future packet has original time >= W hence transformed time
+        # >= g_s(W) >= horizon, and being later in input order it sorts
+        # after equal-time pending packets: release <= horizon is safe
+        return int(np.searchsorted(self._pending[0], horizon, side="right"))

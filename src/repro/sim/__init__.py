@@ -15,8 +15,16 @@ from repro.sim.queues import BoundedQueue, QueueBank
 from repro.sim.latency import CoreConfig, LatencyModel, TABLE_III_CORE
 from repro.sim.reorder import ReorderDetector
 from repro.sim.metrics import SimMetrics, SimReport
-from repro.sim.generator import HoltWinters, HoltWintersParams, arrival_times
-from repro.sim.workload import Workload, build_workload
+from repro.sim.generator import ArrivalStream, HoltWinters, HoltWintersParams, arrival_times
+from repro.sim.workload import Workload, build_workload, service_flow_hashes
+from repro.sim.source import (
+    DEFAULT_CHUNK_SIZE,
+    MaterializedSource,
+    PacketSource,
+    StreamingSource,
+    WorkloadChunk,
+    workload_fingerprint,
+)
 from repro.sim.config import SimConfig
 from repro.sim.system import NetworkProcessorSim, simulate
 from repro.sim.restoration import RestorationBuffer, RestorationResult, restoration_cost
@@ -38,11 +46,19 @@ __all__ = [
     "ReorderDetector",
     "SimMetrics",
     "SimReport",
+    "ArrivalStream",
     "HoltWinters",
     "HoltWintersParams",
     "arrival_times",
     "Workload",
     "build_workload",
+    "service_flow_hashes",
+    "DEFAULT_CHUNK_SIZE",
+    "PacketSource",
+    "WorkloadChunk",
+    "MaterializedSource",
+    "StreamingSource",
+    "workload_fingerprint",
     "SimConfig",
     "NetworkProcessorSim",
     "simulate",

@@ -35,6 +35,7 @@ from repro.schedulers.afs import AFSScheduler
 from repro.schedulers.base import Scheduler, available_schedulers, make_scheduler
 from repro.sim.config import SimConfig
 from repro.sim.generator import HoltWintersParams
+from repro.sim.source import DEFAULT_CHUNK_SIZE, StreamingSource
 from repro.sim.system import simulate
 from repro.sim.workload import build_workload
 from repro.trace.models import TRIMODAL_INTERNET_SIZES
@@ -90,25 +91,37 @@ def _cmd_compare(args) -> int:
         params = [HoltWintersParams(a=args.utilisation * cap)]
         num_services = 1
 
-    workload = build_workload(traces, params, duration_ns=duration,
-                              seed=args.seed)
+    if args.stream:
+        workload = StreamingSource(
+            traces, params, duration, seed=args.seed,
+            chunk_size=args.chunk_size,
+        )
+        mode = f"streamed in {args.chunk_size}-packet chunks"
+    else:
+        workload = build_workload(traces, params, duration_ns=duration,
+                                  seed=args.seed)
+        mode = "materialized"
     config = SimConfig(num_cores=args.cores, services=services,
                        queue_capacity=args.queue_depth,
                        collect_latencies=True)
     print(f"[workload] {workload.num_packets} packets over "
           f"{args.duration_ms} ms on {args.cores} cores "
-          f"(target utilisation {args.utilisation:.2f})\n")
+          f"(target utilisation {args.utilisation:.2f}, {mode})\n")
 
     schedule = None
     if args.faults:
         from repro.faults import (
             FaultInjector,
             FaultSchedule,
+            TrafficTransformSource,
             apply_traffic_events,
             compute_resilience,
         )
         schedule = FaultSchedule.from_json(Path(args.faults))
-        workload = apply_traffic_events(workload, schedule)
+        if args.stream:
+            workload = TrafficTransformSource(workload, schedule)
+        else:
+            workload = apply_traffic_events(workload, schedule)
         print(f"[faults] {len(schedule)} events from {args.faults} "
               f"(drain policy: {args.drain_policy})\n")
 
@@ -216,6 +229,16 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p.add_argument(
         "--drain-policy", choices=("drop", "reassign"), default="drop",
         help="fate of a failing core's queued descriptors (default: drop)",
+    )
+    cmp_p.add_argument(
+        "--stream", action="store_true",
+        help="generate the workload chunk by chunk (bounded memory, "
+             "bit-identical results; see docs/simulator.md)",
+    )
+    cmp_p.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help=f"packets per streamed chunk (default {DEFAULT_CHUNK_SIZE}; "
+             "needs --stream)",
     )
     cmp_p.set_defaults(func=_cmd_compare)
 

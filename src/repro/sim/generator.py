@@ -28,7 +28,7 @@ from repro import units
 from repro.errors import ConfigError
 from repro.util.rng import make_rng
 
-__all__ = ["HoltWintersParams", "HoltWinters", "arrival_times"]
+__all__ = ["HoltWintersParams", "HoltWinters", "ArrivalStream", "arrival_times"]
 
 
 @dataclass(frozen=True)
@@ -107,6 +107,98 @@ class HoltWinters:
         return float(self.mean_rate_batch(t).mean())
 
 
+class ArrivalStream:
+    """Incremental realisation of one service's arrival process.
+
+    Draws the *same* random variates in the *same* order as the
+    whole-horizon :func:`arrival_times` — all per-segment rates, then
+    all Poisson counts, up front (both are O(n_segments), tiny), with
+    the per-arrival uniforms drawn lazily one segment at a time — so
+    concatenating :meth:`next_segment` over every segment is
+    bit-identical to the :func:`arrival_times` array while holding only
+    one segment's arrivals in memory.
+
+    Segment arrivals lie in ``[start, next start)`` strictly, so a
+    per-segment sort concatenates into the globally sorted sequence and
+    :meth:`pending_floor_ns` is a hard lower bound on every arrival not
+    yet realised (the safe merge horizon for
+    :class:`repro.sim.source.StreamingSource`).
+
+    The cursor is resumable: :meth:`state` / :meth:`set_state` capture
+    the segment index plus the generator's bit-generator state.
+    """
+
+    __slots__ = (
+        "_rng", "_segment_ns", "_duration_ns", "_counts", "_lengths_ns",
+        "n_segments", "total", "_next_segment",
+    )
+
+    def __init__(
+        self,
+        model: HoltWinters,
+        duration_ns: int,
+        rng: np.random.Generator | int | None = None,
+        segment_ns: int | None = None,
+    ) -> None:
+        if duration_ns <= 0:
+            raise ConfigError(f"duration must be positive, got {duration_ns}")
+        rng = make_rng(rng)
+        if segment_ns is None:
+            segment_ns = min(
+                units.ms(10), max(units.us(100), int(model.params.m * units.SEC / 50))
+            )
+        n_segments = (duration_ns + segment_ns - 1) // segment_ns
+        starts_ns = np.arange(n_segments, dtype=np.int64) * segment_ns
+        lengths_ns = np.minimum(segment_ns, duration_ns - starts_ns)
+        rates = model.sample_rates(starts_ns / units.SEC, rng)
+        expected = rates * (lengths_ns / units.SEC)
+        self._rng = rng
+        self._segment_ns = int(segment_ns)
+        self._duration_ns = int(duration_ns)
+        self._counts = rng.poisson(expected)
+        self._lengths_ns = lengths_ns
+        self.n_segments = int(n_segments)
+        self.total = int(self._counts.sum())
+        self._next_segment = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next_segment >= self.n_segments
+
+    def pending_floor_ns(self) -> int:
+        """Lower bound on every arrival not yet realised (the start of
+        the next unrealised segment)."""
+        return self._next_segment * self._segment_ns
+
+    def next_segment(self) -> np.ndarray:
+        """Sorted int64 arrivals of the next segment (possibly empty)."""
+        j = self._next_segment
+        if j >= self.n_segments:
+            raise ConfigError("arrival stream is exhausted")
+        self._next_segment = j + 1
+        count = int(self._counts[j])
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        start = j * self._segment_ns
+        offsets = self._rng.random(count) * int(self._lengths_ns[j])
+        times = start + offsets.astype(np.int64)
+        times.sort(kind="stable")
+        return times
+
+    def state(self) -> dict:
+        """Picklable cursor (segment index + generator bit state)."""
+        return {
+            "segment": self._next_segment,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a cursor captured by :meth:`state` on an equally
+        constructed stream (same model/duration/seed)."""
+        self._next_segment = int(state["segment"])
+        self._rng.bit_generator.state = state["rng"]
+
+
 def arrival_times(
     model: HoltWinters,
     duration_ns: int,
@@ -118,24 +210,12 @@ def arrival_times(
 
     ``segment_ns`` controls the piecewise-constant discretisation;
     default is 1/50 of the seasonal period (capped at 10 ms) so the
-    seasonal shape is well resolved.
+    seasonal shape is well resolved.  Realised through
+    :class:`ArrivalStream`, whose chunked draws are bit-identical to
+    the historical whole-horizon generation.
     """
-    if duration_ns <= 0:
-        raise ConfigError(f"duration must be positive, got {duration_ns}")
-    rng = make_rng(rng)
-    if segment_ns is None:
-        segment_ns = min(units.ms(10), max(units.us(100), int(model.params.m * units.SEC / 50)))
-    n_segments = (duration_ns + segment_ns - 1) // segment_ns
-    starts_ns = np.arange(n_segments, dtype=np.int64) * segment_ns
-    lengths_ns = np.minimum(segment_ns, duration_ns - starts_ns)
-    rates = model.sample_rates(starts_ns / units.SEC, rng)
-    expected = rates * (lengths_ns / units.SEC)
-    counts = rng.poisson(expected)
-    total = int(counts.sum())
-    if total == 0:
+    stream = ArrivalStream(model, duration_ns, rng, segment_ns)
+    if stream.total == 0:
         return np.empty(0, dtype=np.int64)
-    seg_index = np.repeat(np.arange(n_segments), counts)
-    offsets = rng.random(total) * lengths_ns[seg_index]
-    times = starts_ns[seg_index] + offsets.astype(np.int64)
-    times.sort(kind="stable")
-    return times
+    segments = [stream.next_segment() for _ in range(stream.n_segments)]
+    return np.concatenate(segments)

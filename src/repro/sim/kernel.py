@@ -10,26 +10,47 @@ are ordinary methods, and everything that observes or perturbs the run
 one :class:`~repro.sim.hooks.HookBus` instead of poking attributes onto
 the simulator.
 
+The kernel consumes packets through a
+:class:`~repro.sim.source.PacketSource`: a plain
+:class:`~repro.sim.workload.Workload` is wrapped in a
+:class:`~repro.sim.source.MaterializedSource` whose single whole-run
+chunk reproduces the historical in-memory path, while a
+:class:`~repro.sim.source.StreamingSource` feeds the same packet
+sequence chunk by chunk at O(chunk) memory.  Live chunks form the
+**arrival window** (``kernel.window``): arrivals dispatch from it,
+in-flight packet indices stay global, and a chunk is retired as soon as
+every packet it holds is dead (dispatched, departed or dropped), which
+bounds resident workload memory for streamed runs.
+
 Two properties are preserved from the original monolithic loop:
 
 * **hot-loop cost** — at activation the kernel compiles ``start_packet``
   and ``complete_until`` as closures over the state containers (lists,
   dicts, arrays mutated in place), so the per-packet path performs no
-  ``self.`` attribute lookups and allocates no per-packet objects;
+  ``self.`` attribute lookups and allocates no per-packet objects; the
+  closures re-compile only when the window slides (once per chunk);
 * **determinism** — advancing in any sequence of ``run_until`` horizons
   produces bit-identical results to one uninterrupted ``run()``,
-  because events are popped in the same global time order either way.
-  That equivalence is what makes checkpoint/resume exact.
+  because events are popped in the same global time order either way,
+  and a streamed run is bit-identical to a materialized one because the
+  sources produce identical packet sequences.  That equivalence is what
+  makes checkpoint/resume exact.
 
 Checkpointing: :meth:`SimKernel.checkpoint` pickles the state graph —
 ``SimState`` *and* the scheduler *and* the injector in one blob, so
 shared references (the scheduler's bound ``LoadView`` is the state's
 queue bank) survive the round trip — and stamps it with config/workload
-fingerprints.  :meth:`SimKernel.resume` restores the blob against the
-same config and workload (which are deliberately *not* serialized:
-they are large, immutable, and reconstructible) and continues the run;
-the resumed run's :class:`~repro.sim.metrics.SimReport` is identical to
-an uninterrupted one.  See ``docs/architecture.md``.
+fingerprints (the workload fingerprint is the streaming digest of
+:func:`~repro.sim.source.workload_fingerprint`, identical across
+materialized and streamed builds of the same spec).  For a streaming
+source the blob also carries the source cursor and the live window, so
+resume continues generation mid-chunk without replay.
+:meth:`SimKernel.resume` restores the blob against the same config and
+workload-or-source (which are deliberately *not* serialized: they are
+large or regenerable) and continues the run; the resumed run's
+:class:`~repro.sim.metrics.SimReport` is identical to an uninterrupted
+one, even resuming a streamed checkpoint against a materialized
+workload or vice versa.  See ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -47,12 +68,20 @@ from repro.sim.hooks import HookBus
 from repro.sim.metrics import SimMetrics, SimReport
 from repro.sim.queues import QueueBank
 from repro.sim.reorder import ReorderDetector
+from repro.sim.source import (
+    MaterializedSource,
+    PacketSource,
+    WorkloadChunk,
+    concat_chunks,
+    empty_chunk,
+    workload_fingerprint,
+)
 from repro.sim.workload import Workload
 
 __all__ = ["SimState", "SimKernel", "Checkpoint", "CHECKPOINT_VERSION"]
 
 #: bump when the pickled state layout changes incompatibly
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -63,12 +92,15 @@ class SimState:
     Everything the run loop mutates lives here — nothing hides in
     closure locals or instance attributes of the kernel.  The whole
     object (together with the scheduler and injector sharing its
-    references) pickles into a :class:`Checkpoint`.
+    references) pickles into a :class:`Checkpoint`.  Packet indices
+    (``next_arrival``, ``core_current_pkt``, queue contents, heap
+    completions) are *global* positions in the packet sequence, valid
+    across window slides.
     """
 
     #: horizon up to which the run has advanced (``run_until`` bound)
     now_ns: int
-    #: index of the next workload arrival to dispatch
+    #: global index of the next workload arrival to dispatch
     next_arrival: int
     #: the drain phase has completed
     drained: bool
@@ -86,10 +118,14 @@ class SimState:
     reorder: ReorderDetector
     departures: list[tuple[int, int, int]]
     drop_records: list[tuple[int, int, int]]
+    #: arrival instant of the last dispatched packet (drain anchor —
+    #: with a streamed source the final arrival time is not known up
+    #: front, so the run loop records it as it dispatches)
+    last_arrival_ns: int = 0
 
     @classmethod
-    def initial(cls, config: SimConfig, workload: Workload) -> "SimState":
-        """Fresh pre-run state for *config* and *workload*."""
+    def initial(cls, config: SimConfig, source: PacketSource) -> "SimState":
+        """Fresh pre-run state for *config* and *source*."""
         n_cores = config.num_cores
         return cls(
             now_ns=0,
@@ -100,8 +136,8 @@ class SimState:
             core_speed=[1.0] * n_cores,
             core_current_pkt=[-1] * n_cores,
             killed_pkts=set(),
-            flow_last_core=np.full(workload.num_flows, -1, dtype=np.int32),
-            flow_migrated=np.zeros(workload.num_flows, dtype=bool),
+            flow_last_core=np.full(source.num_flows, -1, dtype=np.int32),
+            flow_migrated=np.zeros(source.num_flows, dtype=bool),
             queues=QueueBank(config.num_cores, config.queue_capacity),
             events=EventQueue(),
             metrics=SimMetrics(len(config.services), config.num_cores),
@@ -125,24 +161,16 @@ def _config_fingerprint(config: SimConfig) -> str:
     )
 
 
-def _workload_fingerprint(workload: Workload) -> str:
-    n = workload.num_packets
-    arr_sum = int(workload.arrival_ns.sum()) if n else 0
-    flow_sum = int(workload.flow_id.sum()) if n else 0
-    return (
-        f"n={n};dur={workload.duration_ns};flows={workload.num_flows};"
-        f"svcs={workload.num_services};asum={arr_sum};fsum={flow_sum}"
-    )
-
-
 @dataclass(frozen=True)
 class Checkpoint:
     """A paused run, serialized: resume it with :meth:`SimKernel.resume`.
 
-    The ``blob`` pickles ``(SimState, scheduler, injector)`` in one
-    object graph; config and workload are validated by fingerprint at
-    resume time rather than stored.  ``to_bytes``/``from_bytes`` give a
-    file-ready wire form.
+    The ``blob`` pickles ``(SimState, scheduler, injector, extras)`` in
+    one object graph — ``extras`` carries the streaming source cursor
+    and live window for non-materialized sources (None otherwise);
+    config and workload are validated by fingerprint at resume time
+    rather than stored.  ``to_bytes``/``from_bytes`` give a file-ready
+    wire form.
     """
 
     version: int
@@ -185,6 +213,11 @@ class SimKernel:
     :class:`~repro.sim.metrics.SimReport`.  :meth:`checkpoint` may be
     called between advances; :meth:`resume` restores one.
 
+    *workload* may be a :class:`~repro.sim.workload.Workload` (wrapped
+    in a whole-run :class:`~repro.sim.source.MaterializedSource`) or
+    any :class:`~repro.sim.source.PacketSource`.  A source argument is
+    cloned, so one source object can seed any number of kernels.
+
     The kernel itself satisfies the sampler view protocol (``queues``,
     ``metrics``, ``scheduler``, ``reorder``, ``injector`` attributes),
     so rich probes bind to it directly.
@@ -194,26 +227,44 @@ class SimKernel:
         self,
         config: SimConfig,
         scheduler: Scheduler,
-        workload: Workload,
+        workload: Workload | PacketSource,
         *,
         bus: HookBus | None = None,
         state: SimState | None = None,
         _resumed: bool = False,
+        _chunks: list[WorkloadChunk] | None = None,
+        _exhausted: bool = False,
     ) -> None:
-        if workload.num_services > len(config.services):
+        if isinstance(workload, Workload):
+            source = MaterializedSource(workload)
+        elif isinstance(workload, PacketSource):
+            source = workload if _resumed else workload.clone()
+        else:
             raise ConfigError(
-                f"workload uses {workload.num_services} services but the "
+                f"workload must be a Workload or PacketSource, "
+                f"got {type(workload).__name__}"
+            )
+        if source.num_services > len(config.services):
+            raise ConfigError(
+                f"workload uses {source.num_services} services but the "
                 f"config defines only {len(config.services)}"
             )
         self.config = config
         self.scheduler = scheduler
-        self.workload = workload
+        self.source = source
+        self._chunks: list[WorkloadChunk] = list(_chunks) if _chunks else []
+        self._exhausted = bool(_exhausted)
+        #: live arrival window (consecutive un-retired chunks)
+        self.window: WorkloadChunk = (
+            concat_chunks(self._chunks) if self._chunks else empty_chunk(0)
+        )
         self.bus = bus if bus is not None else HookBus()
-        self.state = state if state is not None else SimState.initial(config, workload)
+        self.state = state if state is not None else SimState.initial(config, source)
         self.injector = None
         self._finished = False
         self._start_packet = None
         self._complete_until = None
+        self._wl_fp: str | None = None
         if not _resumed:
             # a restored scheduler is already bound to the restored
             # queue bank (shared pickle graph); re-binding would reset
@@ -287,19 +338,71 @@ class SimKernel:
         injector.bind(self, schedule_events=not resumed)
         self.bus.subscribe("timed_event", injector.apply)
 
+    # -- the sliding arrival window ------------------------------------
+    def _min_live_pkt(self) -> int:
+        """Smallest global packet index the run can still touch: the
+        next arrival, any packet in service, any queued packet (after a
+        fault reassignment queue order is no longer index order, so the
+        minimum is scanned, not peeked)."""
+        st = self.state
+        lo = st.next_arrival
+        for pkt in st.core_current_pkt:
+            if 0 <= pkt < lo:
+                lo = pkt
+        for q in st.queues:
+            m = q.min_item()
+            if m is not None and m < lo:
+                lo = m
+        return lo
+
+    def _pull_chunk(self) -> bool:
+        """Append the source's next chunk to the window (retiring fully
+        dead leading chunks first); False when the source is exhausted.
+        Invalidates the compiled hot loop — it binds the old arrays.
+        """
+        if self._exhausted:
+            return False
+        chunk = self.source.next_chunk()
+        if chunk is None:
+            self._exhausted = True
+            return False
+        chunks = self._chunks
+        if chunks:
+            lo = self._min_live_pkt()
+            while chunks and chunks[0].end <= lo:
+                chunks.pop(0)
+        chunks.append(chunk)
+        self.window = concat_chunks(chunks)
+        self._start_packet = None
+        self._complete_until = None
+        return True
+
+    def _peek_arrival_ns(self) -> int | None:
+        """Arrival time of the next undispatched packet, pulling chunks
+        as needed; None when the source has no packets left."""
+        st = self.state
+        while True:
+            win = self.window
+            if st.next_arrival - win.base < len(win):
+                return int(win.arrival_ns[st.next_arrival - win.base])
+            if not self._pull_chunk():
+                return None
+
     # -- activation: compile the hot loop ------------------------------
     def _activate(self) -> None:
-        """Compile ``start_packet`` / ``complete_until`` over the state.
+        """Compile ``start_packet`` / ``complete_until`` over the state
+        and the current window.
 
         Closures capture the state *containers* (mutated in place), so
         the per-packet path touches only locals — the original loop's
-        no-attribute-lookup property.  Re-run after :meth:`resume` to
-        re-close over the restored containers.
+        no-attribute-lookup property; packet columns are indexed at
+        ``pkt - base`` within the window.  Re-run after :meth:`resume`
+        or a window slide to re-close over the current containers.
         """
         self.bus.freeze()
         cfg = self.config
         st = self.state
-        wl = self.workload
+        win = self.window
         services = cfg.services
         base_ns = [services[s].base_ns for s in range(len(services))]
         per64_ns = [services[s].per_64b_ns for s in range(len(services))]
@@ -316,11 +419,12 @@ class SimKernel:
         events = st.events
         metrics = st.metrics
         reorder = st.reorder
-        arrival = wl.arrival_ns
-        service = wl.service_id
-        flow = wl.flow_id
-        size = wl.size_bytes
-        seq = wl.seq
+        base = win.base
+        arrival = win.arrival_ns
+        service = win.service_id
+        flow = win.flow_id
+        size = win.size_bytes
+        seq = win.seq
         collect_lat = cfg.collect_latencies
         latencies = metrics.latencies_ns
         record_dep = cfg.record_departures
@@ -329,13 +433,14 @@ class SimKernel:
         dispatch_timed = self.bus.dispatcher("timed_event") or _no_timed_handler
 
         def start_packet(core: int, pkt: int, t_ns: int) -> None:
-            """Begin service of packet *pkt* on *core* at *t_ns*."""
-            sid = int(service[pkt])
-            fid = int(flow[pkt])
+            """Begin service of packet *pkt* (global index) on *core*."""
+            li = pkt - base
+            sid = int(service[li])
+            fid = int(flow[li])
             t_proc = base_ns[sid]
             p64 = per64_ns[sid]
             if p64:
-                t_proc += round(p64 * int(size[pkt]) / 64)
+                t_proc += round(p64 * int(size[li]) / 64)
             last = flow_last_core[fid]
             migrated = last >= 0 and last != core
             if migrated:
@@ -365,13 +470,14 @@ class SimKernel:
                 if killed_pkts and pkt in killed_pkts:
                     killed_pkts.discard(pkt)  # died with its core
                     continue
+                li = pkt - base
                 metrics.departed += 1
                 metrics.last_depart_ns = t_done  # pops are time-ordered
-                reorder.on_depart(int(flow[pkt]), int(seq[pkt]))
+                reorder.on_depart(int(flow[li]), int(seq[li]))
                 if collect_lat:
-                    latencies.append(t_done - int(arrival[pkt]))
+                    latencies.append(t_done - int(arrival[li]))
                 if record_dep:
-                    departures.append((int(flow[pkt]), int(seq[pkt]), t_done))
+                    departures.append((int(flow[li]), int(seq[li]), t_done))
                 q = queues[core]
                 if q.is_empty:
                     core_busy[core] = False
@@ -386,7 +492,7 @@ class SimKernel:
 
     @property
     def active(self) -> bool:
-        """The hot loop has been compiled (hook set is frozen)."""
+        """The hot loop is compiled for the current window."""
         return self._start_packet is not None
 
     def start_packet(self, core: int, pkt: int, t_ns: int) -> None:
@@ -401,33 +507,23 @@ class SimKernel:
 
         Dispatches every arrival with ``arrival_ns <= t_ns`` — each
         preceded by the completions and timed events due by then, in
-        strict time order — then drains remaining heap events up to
-        *t_ns*.  Splitting a run across any sequence of horizons yields
-        state (and ultimately a report) identical to one uninterrupted
+        strict time order, pulling source chunks as the window runs out
+        — then drains remaining heap events up to *t_ns*.  Splitting a
+        run across any sequence of horizons yields state (and
+        ultimately a report) identical to one uninterrupted
         :meth:`run`.
         """
         if self._finished:
             raise SimulationError("kernel already finished")
-        if self._start_packet is None:
-            self._activate()
         st = self.state
         if t_ns < st.now_ns:
             raise SimulationError(
                 f"run_until({t_ns}) is behind current time {st.now_ns}"
             )
         cfg = self.config
-        wl = self.workload
         sched = self.scheduler
-        arrival = wl.arrival_ns
-        service = wl.service_id
-        flow = wl.flow_id
-        fhash = wl.flow_hash
-        seq = wl.seq
-        n = wl.num_packets
         n_cores = cfg.num_cores
         record_dep = cfg.record_departures
-        complete_until = self._complete_until
-        start_packet = self._start_packet
         metrics = st.metrics
         queues = st.queues
         reorder = st.reorder
@@ -435,54 +531,75 @@ class SimKernel:
         drop_records = st.drop_records
         gen_per_service = metrics.generated_per_service
         drop_per_service = metrics.dropped_per_service
-        sample = self.bus.dispatcher("sample")
-        on_queue_busy = self.bus.dispatcher("queue_busy")
-        i = st.next_arrival
-        try:
-            while i < n:
-                t = int(arrival[i])
-                if t > t_ns:
-                    break
-                complete_until(t)
-                if sample is not None:
-                    sample(t)
-                metrics.generated += 1
-                sid = int(service[i])
-                gen_per_service[sid] += 1
-                core = sched.select_core(int(flow[i]), sid, int(fhash[i]), t)
-                if not 0 <= core < n_cores:
-                    raise SimulationError(
-                        f"{sched.name} returned core {core} of {n_cores}"
-                    )
-                if core_busy[core]:
-                    q = queues[core]
-                    if q.is_empty and on_queue_busy is not None:
-                        on_queue_busy(core, t)
-                    if not q.offer(i):
-                        metrics.dropped += 1
-                        drop_per_service[sid] += 1
-                        if q.down:  # black-holed: the target core is dead
-                            metrics.fault_dropped += 1
-                        reorder.on_drop(int(flow[i]), int(seq[i]))
-                        if record_dep:
-                            drop_records.append((int(flow[i]), int(seq[i]), t))
-                else:
-                    if on_queue_busy is not None:
-                        on_queue_busy(core, t)
-                    start_packet(core, i, t)
-                i += 1
-        finally:
-            st.next_arrival = i
-        complete_until(t_ns)
+        while True:
+            if self._start_packet is None:
+                self._activate()
+            complete_until = self._complete_until
+            start_packet = self._start_packet
+            sample = self.bus.dispatcher("sample")
+            on_queue_busy = self.bus.dispatcher("queue_busy")
+            win = self.window
+            base = win.base
+            arrival = win.arrival_ns
+            service = win.service_id
+            flow = win.flow_id
+            fhash = win.flow_hash
+            seq = win.seq
+            n_local = arrival.shape[0]
+            li = li0 = st.next_arrival - base
+            try:
+                while li < n_local:
+                    t = int(arrival[li])
+                    if t > t_ns:
+                        break
+                    complete_until(t)
+                    if sample is not None:
+                        sample(t)
+                    metrics.generated += 1
+                    sid = int(service[li])
+                    gen_per_service[sid] += 1
+                    core = sched.select_core(int(flow[li]), sid, int(fhash[li]), t)
+                    if not 0 <= core < n_cores:
+                        raise SimulationError(
+                            f"{sched.name} returned core {core} of {n_cores}"
+                        )
+                    if core_busy[core]:
+                        q = queues[core]
+                        if q.is_empty and on_queue_busy is not None:
+                            on_queue_busy(core, t)
+                        if not q.offer(base + li):
+                            metrics.dropped += 1
+                            drop_per_service[sid] += 1
+                            if q.down:  # black-holed: the target core is dead
+                                metrics.fault_dropped += 1
+                            reorder.on_drop(int(flow[li]), int(seq[li]))
+                            if record_dep:
+                                drop_records.append((int(flow[li]), int(seq[li]), t))
+                    else:
+                        if on_queue_busy is not None:
+                            on_queue_busy(core, t)
+                        start_packet(core, base + li, t)
+                    li += 1
+            finally:
+                st.next_arrival = base + li
+                if li > li0:
+                    st.last_arrival_ns = int(arrival[li - 1])
+            if li < n_local:
+                break  # the next arrival is beyond the horizon
+            if not self._pull_chunk():
+                break  # source exhausted: every arrival dispatched
+        if self._complete_until is None:  # pragma: no cover - defensive
+            self._activate()
+        self._complete_until(t_ns)
         st.now_ns = t_ns
 
     def next_event_ns(self) -> int | None:
         """Time of the next pending instant (arrival or heap event),
-        or None when nothing is left."""
-        st = self.state
-        nxt = st.events.peek_time()
-        if st.next_arrival < self.workload.num_packets:
-            t_arr = int(self.workload.arrival_ns[st.next_arrival])
+        or None when nothing is left.  May pull a source chunk to see
+        the next arrival (deterministic and idempotent)."""
+        nxt = self.state.events.peek_time()
+        t_arr = self._peek_arrival_ns()
+        if t_arr is not None:
             nxt = t_arr if nxt is None else min(nxt, t_arr)
         return nxt
 
@@ -502,7 +619,7 @@ class SimKernel:
         return nxt
 
     # -- drain + report -------------------------------------------------
-    def _drain(self, last_arrival_ns: int) -> None:
+    def _drain(self) -> None:
         """Serve queued work after the last arrival (bounded).
 
         With a periodic ``sample`` hook the drain advances one sample
@@ -512,11 +629,14 @@ class SimKernel:
         completion), so further boundaries would only repeat a frozen
         state.
         """
+        if self._complete_until is None:
+            self._activate()
         cfg = self.config
         st = self.state
         events = st.events
         complete_until = self._complete_until
         sample = self.bus.dispatcher("sample")
+        last_arrival_ns = st.last_arrival_ns
         drain_end = last_arrival_ns + cfg.drain_ns
         if sample is not None and cfg.drain_ns > 0:
             step = self.bus.sample_period_ns or cfg.drain_ns
@@ -545,18 +665,20 @@ class SimKernel:
         """Advance to completion (arrivals, then drain) and report.
 
         Continues from wherever previous ``step``/``run_until`` calls —
-        or a restored checkpoint — left the state.
+        or a restored checkpoint — left the state.  Advances one window
+        at a time, so a streamed source never materializes beyond the
+        live chunks.
         """
         if self._finished:
             raise SimulationError("kernel already finished")
-        if self._start_packet is None:
-            self._activate()
         st = self.state
-        wl = self.workload
-        last_t = int(wl.arrival_ns[-1]) if wl.num_packets else 0
-        if last_t > st.now_ns or st.next_arrival < wl.num_packets:
-            self.run_until(max(last_t, st.now_ns))
-        self._drain(last_t)
+        while self._peek_arrival_ns() is not None:
+            # the peek pulled the window forward; run to its last
+            # arrival (run_until keeps pulling if equal-time arrivals
+            # straddle the chunk boundary)
+            horizon = int(self.window.arrival_ns[-1])
+            self.run_until(max(horizon, st.now_ns))
+        self._drain()
         return self.finalize()
 
     def finalize(self) -> SimReport:
@@ -566,7 +688,7 @@ class SimKernel:
         self._finished = True
         st = self.state
         return st.metrics.finalize(
-            duration_ns=self.workload.duration_ns,
+            duration_ns=self.source.duration_ns,
             out_of_order=st.reorder.out_of_order,
             scheduler_name=self.scheduler.name,
             scheduler_stats=self.scheduler.stats(),
@@ -576,16 +698,32 @@ class SimKernel:
         )
 
     # -- checkpoint / resume --------------------------------------------
+    def _workload_fp(self) -> str:
+        if self._wl_fp is None:
+            self._wl_fp = self.source.fingerprint()
+        return self._wl_fp
+
     def checkpoint(self) -> Checkpoint:
         """Serialize the paused run (between advances) for later resume.
 
         Probes are *not* captured — re-attach fresh ones at resume; the
         time series restarts but the simulation outcome is unaffected
-        (sampling never mutates run state).
+        (sampling never mutates run state).  A non-materialized source
+        contributes its cursor and the live window chunks, so resuming
+        against a same-spec source continues generation mid-chunk with
+        no replay.
         """
         if self._finished:
             raise SimulationError("cannot checkpoint a finished run")
-        payload = (self.state, self.scheduler, self.injector)
+        extras = None
+        if not isinstance(self.source, MaterializedSource):
+            extras = {
+                "source_cls": type(self.source).__qualname__,
+                "snapshot": self.source.snapshot(),
+                "chunks": list(self._chunks),
+                "exhausted": self._exhausted,
+            }
+        payload = (self.state, self.scheduler, self.injector, extras)
         try:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -597,7 +735,7 @@ class SimKernel:
             time_ns=self.state.now_ns,
             blob=blob,
             config_fingerprint=_config_fingerprint(self.config),
-            workload_fingerprint=_workload_fingerprint(self.workload),
+            workload_fingerprint=self._workload_fp(),
         )
 
     @classmethod
@@ -605,15 +743,21 @@ class SimKernel:
         cls,
         checkpoint: Checkpoint,
         config: SimConfig,
-        workload: Workload,
+        workload: Workload | PacketSource,
         *,
         probe=None,
         bus: HookBus | None = None,
     ) -> "SimKernel":
         """Rebuild a kernel from *checkpoint* and continue the run.
 
-        *config* and *workload* must be the ones the checkpointed run
-        used (validated by fingerprint).  The scheduler and injector
+        *config* and *workload* must describe the packet sequence the
+        checkpointed run used (validated by fingerprint — materialized
+        and streamed builds of the same spec share it, so a streamed
+        checkpoint resumes against a materialized workload and vice
+        versa).  When *workload* is a source of the same class the
+        checkpoint's cursor snapshot restores it mid-stream; otherwise
+        the window is rebuilt by pulling (and immediately retiring)
+        chunks up to the saved position.  The scheduler and injector
         come back from the checkpoint with their state intact.
         """
         if checkpoint.version != CHECKPOINT_VERSION:
@@ -625,13 +769,26 @@ class SimKernel:
             raise SimulationError(
                 "checkpoint was taken under a different SimConfig"
             )
-        if _workload_fingerprint(workload) != checkpoint.workload_fingerprint:
+        if workload_fingerprint(workload) != checkpoint.workload_fingerprint:
             raise SimulationError(
                 "checkpoint was taken against a different workload"
             )
-        state, scheduler, injector = pickle.loads(checkpoint.blob)
+        state, scheduler, injector, extras = pickle.loads(checkpoint.blob)
+        chunks = None
+        exhausted = False
+        source_arg = workload
+        if isinstance(workload, PacketSource):
+            source_arg = workload.clone()
+            if (
+                extras is not None
+                and type(workload).__qualname__ == extras["source_cls"]
+            ):
+                source_arg.restore(extras["snapshot"])
+                chunks = extras["chunks"]
+                exhausted = extras["exhausted"]
         kernel = cls(
-            config, scheduler, workload, bus=bus, state=state, _resumed=True
+            config, scheduler, source_arg, bus=bus, state=state,
+            _resumed=True, _chunks=chunks, _exhausted=exhausted,
         )
         if injector is not None:
             kernel.attach_injector(injector, resumed=True)

@@ -64,6 +64,12 @@ class BoundedQueue:
         """Dequeue the oldest item (raises IndexError when empty)."""
         return self._items.popleft()
 
+    def min_item(self) -> int | None:
+        """Smallest queued packet index, or None when empty (window
+        retirement scans this — after a fault reassignment FIFO order
+        is no longer index order, so the head is not the minimum)."""
+        return min(self._items) if self._items else None
+
     def drain(self) -> list[int]:
         """Remove and return all queued items, oldest first."""
         items = list(self._items)

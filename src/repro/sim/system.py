@@ -9,10 +9,12 @@ kernel's :class:`~repro.sim.hooks.HookBus` — the old
 ``probe.bind(sim)`` / ``injector.bind(sim)`` attribute-poking protocol
 is gone.  See ``docs/architecture.md`` for the layering.
 
-Event structure (unchanged): arrivals come pre-sorted in the
-:class:`~repro.sim.workload.Workload` arrays; the only heap-managed
-events are core completions and the fault injector's timed platform
-events.  Per arriving packet the kernel drains completions up to the
+Event structure (unchanged): arrivals come pre-sorted from the
+:class:`~repro.sim.workload.Workload` arrays or, chunk by chunk, from a
+:class:`~repro.sim.source.PacketSource` (both are accepted wherever a
+workload is; a source keeps resident memory at O(chunk)); the only
+heap-managed events are core completions and the fault injector's timed
+platform events.  Per arriving packet the kernel drains completions up to the
 arrival instant, asks the scheduler for a target core, enqueues there
 (or drops when the 32-descriptor queue is full), and an idle core
 starts the packet immediately with the eq. 3 processing delay
@@ -36,6 +38,7 @@ from repro.schedulers.base import Scheduler
 from repro.sim.config import SimConfig
 from repro.sim.kernel import SimKernel
 from repro.sim.metrics import SimReport
+from repro.sim.source import PacketSource
 from repro.sim.workload import Workload
 
 __all__ = ["NetworkProcessorSim", "simulate"]
@@ -47,13 +50,16 @@ class NetworkProcessorSim:
     A convenience shell over :class:`~repro.sim.kernel.SimKernel`: the
     constructor wires the optional probe and injector onto the kernel's
     hook bus, and :meth:`run` executes the whole run exactly once.
+    *workload* may be a materialized :class:`Workload` or any
+    :class:`~repro.sim.source.PacketSource` (sources are cloned by the
+    kernel, so one source object can seed many runs).
     """
 
     def __init__(
         self,
         config: SimConfig,
         scheduler: Scheduler,
-        workload: Workload,
+        workload: Workload | PacketSource,
         probe=None,
         injector=None,
     ) -> None:
@@ -99,13 +105,15 @@ class NetworkProcessorSim:
 
 
 def simulate(
-    workload: Workload,
+    workload: Workload | PacketSource,
     scheduler: Scheduler,
     config: SimConfig | None = None,
     probe=None,
     injector=None,
 ) -> SimReport:
-    """Convenience one-shot: run *scheduler* on *workload*."""
+    """Convenience one-shot: run *scheduler* on *workload* (a
+    materialized :class:`Workload` or a streaming
+    :class:`~repro.sim.source.PacketSource`)."""
     return NetworkProcessorSim(
         config or SimConfig(), scheduler, workload, probe=probe,
         injector=injector,

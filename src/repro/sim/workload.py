@@ -26,7 +26,7 @@ from repro.sim.generator import HoltWinters, HoltWintersParams, arrival_times
 from repro.trace.trace import Trace
 from repro.util.rng import spawn_rngs
 
-__all__ = ["Workload", "build_workload"]
+__all__ = ["Workload", "build_workload", "service_flow_hashes"]
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,36 @@ class Workload:
             return 0.0
         return self.num_packets / (self.duration_ns / 1e9)
 
+    @classmethod
+    def from_chunks(
+        cls,
+        chunks: list,
+        *,
+        num_flows: int,
+        num_services: int,
+        duration_ns: int,
+    ) -> "Workload":
+        """Assemble a workload from consecutive
+        :class:`~repro.sim.source.WorkloadChunk` column sets (anything
+        with the six packet-column attributes works)."""
+
+        def col(name: str, dtype) -> np.ndarray:
+            if not chunks:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate([getattr(c, name) for c in chunks])
+
+        return cls(
+            arrival_ns=col("arrival_ns", np.int64),
+            service_id=col("service_id", np.int32),
+            flow_id=col("flow_id", np.int64),
+            size_bytes=col("size_bytes", np.int32),
+            flow_hash=col("flow_hash", np.int64),
+            seq=col("seq", np.int64),
+            num_flows=num_flows,
+            num_services=num_services,
+            duration_ns=duration_ns,
+        )
+
 
 def _per_flow_sequences(flow_id: np.ndarray, num_flows: int) -> np.ndarray:
     """Vectorised per-flow 0-based sequence numbers in arrival order.
@@ -99,6 +129,17 @@ def _per_flow_sequences(flow_id: np.ndarray, num_flows: int) -> np.ndarray:
     seq = np.empty(n, dtype=np.int64)
     seq[order] = within
     return seq
+
+
+def service_flow_hashes(trace: Trace, hash_spec: CRCSpec = CRC16_CCITT) -> np.ndarray:
+    """Per-flow hash table of one service's trace (one vectorised CRC
+    batch over the flow 5-tuples); chunk assembly then indexes it by
+    local flow id, so streamed and materialized builds hash identically."""
+    return flow_hash_batch(
+        trace.flows_src_ip, trace.flows_dst_ip,
+        trace.flows_src_port, trace.flows_dst_port, trace.flows_proto,
+        spec=hash_spec,
+    ).astype(np.int64)
 
 
 def build_workload(
@@ -132,15 +173,11 @@ def build_workload(
             raise ConfigError(f"service {sid} has an empty trace")
         times = arrival_times(HoltWinters(p), duration_ns, rng)
         k = times.shape[0]
-        idx = np.arange(k, dtype=np.int64) % trace.num_packets
-        fids = trace.flow_id[idx] + flow_offset
+        idx = trace.header_cursor().take(k)
+        local_fids = trace.flow_id[idx]
+        fids = local_fids + flow_offset
         sizes = trace.size_bytes[idx]
-        hashes = flow_hash_batch(
-            trace.flows_src_ip, trace.flows_dst_ip,
-            trace.flows_src_port, trace.flows_dst_port, trace.flows_proto,
-            spec=hash_spec,
-        ).astype(np.int64)
-        pkt_hashes = hashes[trace.flow_id[idx]]
+        pkt_hashes = service_flow_hashes(trace, hash_spec)[local_fids]
         per_service.append((times, fids, sizes, pkt_hashes))
         flow_offset += trace.num_flows
 

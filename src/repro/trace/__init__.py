@@ -12,7 +12,7 @@ fewer actives with sharper elephant dominance — plus a pcap ingest path
 so real captures can be dropped in unchanged.
 """
 
-from repro.trace.trace import Trace
+from repro.trace.trace import HeaderCursor, Trace
 from repro.trace.models import (
     FlowPopulation,
     PacketSizeModel,
@@ -40,6 +40,7 @@ from repro.trace.pcap import (
 from repro.trace.replay import native_workload
 
 __all__ = [
+    "HeaderCursor",
     "Trace",
     "FlowPopulation",
     "PacketSizeModel",

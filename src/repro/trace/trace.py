@@ -20,10 +20,43 @@ import numpy as np
 from repro.errors import TraceFormatError
 from repro.hashing.five_tuple import FiveTuple
 
-__all__ = ["Trace"]
+__all__ = ["HeaderCursor", "Trace"]
 
 _PACKET_COLS = ("flow_id", "size_bytes", "gap_ns")
 _FLOW_COLS = ("flows_src_ip", "flows_dst_ip", "flows_src_port", "flows_dst_port", "flows_proto")
+
+
+class HeaderCursor:
+    """A resumable wrap-around reader over a trace's packet headers.
+
+    Workload builders consume each service's trace in order, wrapping
+    modulo the trace length when the arrival process outruns it.  The
+    cursor makes that consumption incremental: ``take(k)`` returns the
+    packet indices of the next *k* headers, and ``position`` (a plain
+    int: total headers consumed so far) is all the state needed to
+    resume — ``HeaderCursor(trace, position)`` continues exactly where
+    a previous cursor stopped.
+    """
+
+    __slots__ = ("trace", "position")
+
+    def __init__(self, trace: "Trace", position: int = 0) -> None:
+        if trace.num_packets == 0:
+            raise TraceFormatError("cannot read headers from an empty trace")
+        if position < 0:
+            raise TraceFormatError(f"cursor position must be >= 0, got {position}")
+        self.trace = trace
+        self.position = int(position)
+
+    def take(self, k: int) -> np.ndarray:
+        """Indices (into the trace's packet columns) of the next *k*
+        headers, wrapping modulo the trace length."""
+        if k < 0:
+            raise TraceFormatError(f"cannot take {k} headers")
+        pos = self.position
+        idx = (pos + np.arange(k, dtype=np.int64)) % self.trace.num_packets
+        self.position = pos + int(k)
+        return idx
 
 
 @dataclass
@@ -138,6 +171,10 @@ class Trace:
             int(self.flows_dst_port[flow_id]),
             int(self.flows_proto[flow_id]),
         )
+
+    def header_cursor(self, position: int = 0) -> HeaderCursor:
+        """A :class:`HeaderCursor` over this trace's packet headers."""
+        return HeaderCursor(self, position)
 
     def head(self, n: int) -> "Trace":
         """A trace containing only the first *n* packets (flow table is

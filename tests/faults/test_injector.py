@@ -12,11 +12,16 @@ from repro.faults.events import (
     ServiceFlap,
     TrafficSurge,
 )
-from repro.faults.injector import FaultInjector, apply_traffic_events
+from repro.faults.injector import (
+    FaultInjector,
+    TrafficTransformSource,
+    apply_traffic_events,
+)
 from repro.net.service import Service, ServiceSet
 from repro.schedulers.fcfs import FCFSScheduler
 from repro.schedulers.hash_static import StaticHashScheduler
 from repro.sim.config import SimConfig
+from repro.sim.source import MaterializedSource
 from repro.sim.system import simulate
 from repro.sim.workload import Workload
 
@@ -302,6 +307,89 @@ class TestTrafficTransforms:
         out = apply_traffic_events(wl, schedule)
         rep = simulate(out, FCFSScheduler(), two_core_config())
         assert rep.generated == 100
+
+
+class TestTrafficTransformSource:
+    """Per-chunk traffic transforms must compose exactly like the
+    whole-array :func:`apply_traffic_events` — same event order, same
+    output — no matter where the chunk boundaries fall."""
+
+    COLUMNS = ("arrival_ns", "service_id", "flow_id", "size_bytes",
+               "flow_hash", "seq")
+
+    def composed_schedule(self):
+        # surge → flap → second surge, all on service 0: the ordering
+        # regression this pins is exactly the sequential composition
+        return FaultSchedule([
+            TrafficSurge(2000, service_id=0, factor=2.0, duration_ns=4000),
+            ServiceFlap(5000, service_id=0, period_ns=2000, cycles=2,
+                        duty=0.5),
+            TrafficSurge(8000, service_id=0, factor=4.0, duration_ns=2000),
+        ])
+
+    def workload(self):
+        arrivals = list(range(0, 12_000, 150))
+        return manual_workload(arrivals, [i % 5 for i in range(len(arrivals))])
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 13, 1000])
+    def test_per_chunk_matches_whole_array(self, chunk_size):
+        wl = self.workload()
+        schedule = self.composed_schedule()
+        whole = apply_traffic_events(wl, schedule)
+        chunked = TrafficTransformSource(
+            MaterializedSource(wl, chunk_size=chunk_size), schedule
+        ).materialize()
+        for col in self.COLUMNS:
+            np.testing.assert_array_equal(
+                getattr(chunked, col), getattr(whole, col), err_msg=col
+            )
+
+    def test_pinned_composed_output(self):
+        # hand-checked composition: surge [1000,4000) /2, then flap
+        # outage [4000,5000) bursting at 5000
+        wl = manual_workload([0, 1500, 3000, 4500, 6000], [0, 1, 2, 3, 4])
+        schedule = FaultSchedule([
+            TrafficSurge(1000, service_id=0, factor=2.0, duration_ns=3000),
+            ServiceFlap(4000, service_id=0, period_ns=2000, cycles=1,
+                        duty=0.5),
+        ])
+        out = TrafficTransformSource(
+            MaterializedSource(wl, chunk_size=2), schedule
+        ).materialize()
+        # 1500→1250, 3000→2000, 4500 hits the outage → 5000, 6000 stays
+        assert list(out.arrival_ns) == [0, 1250, 2000, 5000, 6000]
+        assert list(out.arrival_ns) == \
+            list(apply_traffic_events(wl, schedule).arrival_ns)
+
+    def test_no_events_passes_chunks_through(self):
+        wl = self.workload()
+        schedule = FaultSchedule([CoreFail(50, core_id=0)])
+        src = TrafficTransformSource(
+            MaterializedSource(wl, chunk_size=16), schedule
+        )
+        assert src.fingerprint() == MaterializedSource(wl).fingerprint()
+
+    def test_transformed_fingerprint_matches_eager_transform(self):
+        wl = self.workload()
+        schedule = self.composed_schedule()
+        src = TrafficTransformSource(
+            MaterializedSource(wl, chunk_size=32), schedule
+        )
+        from repro.sim.source import workload_fingerprint
+        assert src.fingerprint() == \
+            workload_fingerprint(apply_traffic_events(wl, schedule))
+
+    def test_streamed_faulted_run_matches(self):
+        wl = self.workload()
+        schedule = self.composed_schedule()
+        eager_rep = simulate(apply_traffic_events(wl, schedule),
+                             StaticHashScheduler(), two_core_config())
+        chunked_rep = simulate(
+            TrafficTransformSource(MaterializedSource(wl, chunk_size=9),
+                                   schedule),
+            StaticHashScheduler(), two_core_config(),
+        )
+        assert chunked_rep == eager_rep
 
 
 class TestStats:
