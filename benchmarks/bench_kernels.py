@@ -181,6 +181,83 @@ def test_kernel_chunked_run_until(benchmark):
     assert report == whole
 
 
+def test_simulator_event_loop_scalar(benchmark):
+    """The per-packet ``select_core`` baseline of the same run.
+
+    The vectorized fast path (``vectorized=True``, the default) is
+    judged against this; the two reports are bit-identical by contract,
+    so the only difference a run may show is wall time.
+    """
+    wl, cfg = _event_loop_inputs()
+
+    def run():
+        return simulate(wl, make_scheduler("hash-static"), cfg, vectorized=False)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report == simulate(wl, make_scheduler("hash-static"), cfg)
+
+
+def test_simulator_event_loop_streamed_vectorized(benchmark):
+    """The production path — streamed source, vectorized scheduling —
+    held to the same ``REPRO_BENCH_MIN_PPS`` floor as the materialized
+    loop, so a regression in the chunk pipeline or the epoch-cached
+    column planner fails CI just like one in the core loop."""
+    from repro.sim.source import StreamingSource
+    from repro.trace.synthetic import preset_trace as _preset
+
+    packets = 4_000 if _quick() else 20_000
+    duration = units.ms(1) if _quick() else units.ms(3)
+    trace = _preset("caida-1", num_packets=packets)
+    source = StreamingSource(
+        [trace], [HoltWintersParams(a=8e6)], duration, seed=0
+    )
+    svc = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    cfg = SimConfig(num_cores=8, services=svc, collect_latencies=False)
+
+    def run():
+        t0 = time.perf_counter()
+        report = simulate(source, make_scheduler("hash-static"), cfg)
+        return report, time.perf_counter() - t0
+
+    report, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.generated > 0
+    floor = float(os.environ.get("REPRO_BENCH_MIN_PPS", "20000"))
+    pps = report.generated / elapsed
+    assert pps >= floor, (
+        f"streamed vectorized loop at {pps:,.0f} simulated pkts/s, "
+        f"below the REPRO_BENCH_MIN_PPS floor of {floor:,.0f}"
+    )
+
+
+def test_epoch_churn_stress(benchmark):
+    """Worst case for the epoch-cached column: a scheduler that churns
+    its tables constantly.  Adaptive-hash rebalancing every 50 us (20x
+    the default rate) bumps ``map_epoch`` over and over, so the kernel
+    replans the window suffix hundreds of times per run; the stressed
+    run must stay bit-identical to the scalar path and never collapse
+    (it falls under the smoke floor's order of magnitude)."""
+    from repro.schedulers.adaptive_hash import AdaptiveHashScheduler
+
+    wl, cfg = _event_loop_inputs()
+
+    def mk():
+        return AdaptiveHashScheduler(rebalance_every_ns=units.us(50))
+
+    def run():
+        t0 = time.perf_counter()
+        report = simulate(wl, mk(), cfg, vectorized=True)
+        return report, time.perf_counter() - t0
+
+    report, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report == simulate(wl, mk(), cfg, vectorized=False)
+    floor = float(os.environ.get("REPRO_BENCH_MIN_PPS", "20000"))
+    pps = report.generated / elapsed
+    assert pps >= floor / 2, (
+        f"epoch-churn stress at {pps:,.0f} simulated pkts/s — replan "
+        f"thrash has made the vectorized path pathological"
+    )
+
+
 def test_simulator_event_loop_with_telemetry(benchmark):
     """Same loop with the full default probe battery attached, for a
     direct before/after read of the telemetry cost."""

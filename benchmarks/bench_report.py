@@ -1,0 +1,167 @@
+"""Emit ``BENCH_kernel.json`` — the machine-readable kernel scorecard.
+
+Measures end-to-end simulated packets per second of wall time for the
+hash-static and LAPS schedulers over the scalar x vectorized and
+materialized x streamed grid, plus the peak RSS of each run.  Every
+cell runs in a fresh subprocess (``ru_maxrss``/``VmHWM`` are
+process-lifetime high-watermarks) and reports the best of several
+rounds, so the numbers are comparable across commits on the same box.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_report.py            # full
+    PYTHONPATH=src REPRO_BENCH_QUICK=1 python benchmarks/bench_report.py
+
+The JSON lands at the repository root (override with ``--out``); CI
+runs the quick form and uploads the file as a build artifact.  Absolute
+throughput depends on the machine — compare cells within one file, or
+whole files from the same runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_CHILD = r"""
+import json, sys, time
+
+def peak_rss_kib():
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+scheduler, source_kind, vectorized, packets, rounds = (
+    sys.argv[1], sys.argv[2], sys.argv[3] == "1", int(sys.argv[4]),
+    int(sys.argv[5]),
+)
+
+from repro import units
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.net.service import Service, ServiceSet
+from repro.schedulers.base import make_scheduler
+from repro.sim.config import SimConfig
+from repro.sim.generator import HoltWintersParams
+from repro.sim.source import StreamingSource
+from repro.sim.system import simulate
+from repro.sim.workload import build_workload
+from repro.trace.synthetic import preset_trace
+
+RATE = 8e6  # offered pps (HoltWinters level)
+trace = preset_trace("caida-1", num_packets=packets)
+params = [HoltWintersParams(a=RATE)]
+duration = max(1, int(round(packets / RATE * units.SEC)))
+config = SimConfig(
+    num_cores=8,
+    services=ServiceSet([Service(0, "ip-forward", units.us(0.5))]),
+    collect_latencies=False,
+)
+
+def make_sched():
+    if scheduler == "laps":
+        return LAPSScheduler(LAPSConfig(num_services=1), rng=7)
+    return make_scheduler(scheduler)
+
+def make_workload():
+    if source_kind == "streamed":
+        return StreamingSource([trace], params, duration, seed=0)
+    return build_workload([trace], params, duration_ns=duration, seed=0)
+
+workload = make_workload()
+best_pps, generated = 0.0, 0
+for _ in range(rounds):
+    # the kernel clones a source argument, so one object seeds all rounds
+    t0 = time.perf_counter()
+    report = simulate(workload, make_sched(), config, vectorized=vectorized)
+    dt = time.perf_counter() - t0
+    generated = report.generated
+    best_pps = max(best_pps, report.generated / dt)
+
+json.dump(
+    {
+        "pkts_per_sec": round(best_pps, 1),
+        "generated": generated,
+        "peak_rss_mb": round(peak_rss_kib() / 1024.0, 1),
+    },
+    sys.stdout,
+)
+"""
+
+
+def _run_cell(
+    scheduler: str, source_kind: str, vectorized: bool, packets: int, rounds: int
+) -> dict:
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [
+            sys.executable, "-c", _CHILD, scheduler, source_kind,
+            "1" if vectorized else "0", str(packets), str(rounds),
+        ],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    cell = json.loads(out.stdout.strip().splitlines()[-1])
+    cell.update(
+        scheduler=scheduler, source=source_kind, vectorized=vectorized
+    )
+    return cell
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=Path, default=repo_root / "BENCH_kernel.json",
+        help="output path (default: <repo root>/BENCH_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    packets = 20_000 if quick else 200_000
+    rounds = 1 if quick else 3
+
+    results = []
+    for scheduler in ("hash-static", "laps"):
+        for source_kind in ("materialized", "streamed"):
+            for vectorized in (True, False):
+                cell = _run_cell(
+                    scheduler, source_kind, vectorized, packets, rounds
+                )
+                results.append(cell)
+                print(
+                    f"{scheduler:12s} {source_kind:12s} "
+                    f"vectorized={str(vectorized):5s} "
+                    f"{cell['pkts_per_sec']:>12,.0f} pkts/s  "
+                    f"rss {cell['peak_rss_mb']:.1f} MiB"
+                )
+
+    doc = {
+        "schema": "repro.bench_kernel/1",
+        "generated_by": "benchmarks/bench_report.py",
+        "quick": quick,
+        "packets": packets,
+        "rounds": rounds,
+        "num_cores": 8,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

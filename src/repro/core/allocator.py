@@ -200,6 +200,11 @@ class CoreAllocator:
            ownership moves, the caller must update both map tables;
         3. nothing available — the request is denied (the system is
            genuinely saturated).
+
+        An external grant changes ``owner_of`` answers, which vectorized
+        plans consult (stale-pin detection), so the calling scheduler
+        must bump its ``map_epoch`` along with the map-table updates; an
+        internal reclaim changes no routing state and needs no bump.
         """
         own = self.surplus_cores(t_ns, service_id)
         if own:

@@ -22,6 +22,8 @@ spec (or a test's identity hash) can front it.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["IncrementalHash"]
 
 
@@ -62,6 +64,15 @@ class IncrementalHash:
         if h1 < self._buckets - self._m:
             return hashed_key % (2 * self._m)
         return h1
+
+    def bucket_of_batch(self, hashed_keys):
+        """Vectorized :meth:`bucket_of` over a numpy int array (same
+        split/unsplit rule, expressed as a ``where``)."""
+        h1 = hashed_keys % self._m
+        split = self._buckets - self._m
+        if split == 0:
+            return h1
+        return np.where(h1 < split, hashed_keys % (2 * self._m), h1)
 
     # ------------------------------------------------------------------
     def grow(self) -> int:

@@ -115,6 +115,9 @@ class LAPSScheduler(Scheduler):
                 f"high_threshold {cfg.high_threshold} exceeds queue capacity "
                 f"{loads.queue_capacity}"
             )
+        #: a planned assignment is only valid while its target is not
+        #: overloaded — the whole Listing 1 balancer runs behind this
+        self.batch_guard = cfg.high_threshold
         self.allocator = CoreAllocator(
             loads.num_cores, cfg.num_services, cfg.idle_threshold_ns
         )
@@ -148,6 +151,7 @@ class LAPSScheduler(Scheduler):
             # the pinned core was donated away: entry is stale
             self.migration.remove(flow_id)
             self.stale_migrations_dropped += 1
+            self.map_epoch += 1
 
         # 2. default hash lookup
         target = table.lookup(flow_hash)
@@ -161,9 +165,10 @@ class LAPSScheduler(Scheduler):
                 if self.afd.is_aggressive(flow_id):
                     dest = self._placement_target(table.cores, cfg.high_threshold)
                     if dest is not None and dest != target:
-                        self.migration.add(flow_id, dest)
+                        self.migration.add(flow_id, dest)  # may evict: same bump
                         self.afd.invalidate(flow_id)
                         self.migrations_installed += 1
+                        self.map_epoch += 1
                         return dest
             else:
                 # every core of this service is overloaded: none of them
@@ -174,6 +179,60 @@ class LAPSScheduler(Scheduler):
                 if granted:
                     target = table.lookup(flow_hash)
         return target
+
+    #: plan at most this many arrivals ahead: under migration churn
+    #: every ``map_epoch`` bump throws away the planned suffix, so a
+    #: bounded span caps the wasted vector work per bump
+    _BATCH_SPAN = 8192
+
+    def assign_batch(
+        self, flow_hash, service_id, flow_id, arrival_ns, start_index: int = 0
+    ):
+        """Vectorized Sec. III-E lookup: per-service incremental-hash
+        map tables, overridden by a sparse migration-table overlay.
+
+        The plan mirrors only the *pure* prefix of ``select_core``:
+        migration pin (or the hash target when unpinned).  Everything
+        with side effects stays scalar — live pins whose target turns
+        out overloaded trip ``batch_guard`` (the pinned path returns the
+        pin regardless, so re-running scalar is exact), stale pins are
+        marked ``-1`` so their removal-and-fallback runs in
+        ``select_core``, and the per-packet AFD/allocator bookkeeping is
+        replicated by :meth:`batch_commit`.  A service id with no map
+        table also maps to ``-1``, reproducing the scalar ``KeyError``.
+        """
+        n = len(flow_hash)
+        if n > self._BATCH_SPAN:
+            n = self._BATCH_SPAN
+        sids = service_id[:n]
+        out = np.full(n, -1, dtype=np.int64)
+        for sid, table in self.map_tables.items():
+            mask = sids == sid
+            if mask.any():
+                out[mask] = table.lookup_batch(flow_hash[:n][mask])
+        mig = self.migration
+        if len(mig):
+            fids = flow_id[:n]
+            pinned = np.fromiter(mig.flow_ids(), dtype=np.int64, count=len(mig))
+            owner_of = self.allocator.owner_of
+            lookup = mig.lookup
+            for i in np.nonzero(np.isin(fids, pinned))[0].tolist():
+                core = lookup(fids.item(i))
+                if owner_of(core) == sids.item(i):
+                    out[i] = core
+                else:
+                    out[i] = -1  # stale pin: scalar path prunes it
+        return out
+
+    def batch_commit(
+        self, flow_id: int, flow_hash: int, core: int, occupancy: int, t_ns: int
+    ) -> None:
+        """The unconditional per-packet work of ``select_core``: the
+        background AFD observation and the allocator's quietness note
+        for the core the packet was routed to (*occupancy* is the
+        guard's reading of that core's queue)."""
+        self.afd.observe(flow_id)
+        self.allocator.note_load(core, occupancy, t_ns)
 
     def _placement_target(self, cores, high_threshold: int) -> int | None:
         """Destination core for a migrating elephant.
@@ -217,6 +276,9 @@ class LAPSScheduler(Scheduler):
         # migrated flows pointing at the donated core are now invalid
         self.stale_migrations_dropped += len(self.migration.drop_core(transfer.core_id))
         self.map_tables[service_id].add_core(transfer.core_id)
+        # both map tables, core ownership and possibly the migration
+        # table changed — one bump invalidates any planned column
+        self.map_epoch += 1
         return True
 
     # ------------------------------------------------------------------
@@ -236,6 +298,7 @@ class LAPSScheduler(Scheduler):
         allocator = self.allocator
         if allocator is None:
             return
+        self.map_epoch += 1
         owner = allocator.set_offline(core_id)
         self.cores_failed += 1
         self.stale_migrations_dropped += len(self.migration.drop_core(core_id))
@@ -258,6 +321,7 @@ class LAPSScheduler(Scheduler):
         allocator = self.allocator
         if allocator is None:
             return
+        self.map_epoch += 1
         owner = allocator.set_online(core_id, t_ns)
         self.cores_recovered += 1
         table = self.map_tables[owner]

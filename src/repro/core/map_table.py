@@ -11,6 +11,8 @@ be shifted to take the place of this ID"), shrinking the hash.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.incremental_hash import IncrementalHash
 from repro.errors import SchedulerError
 
@@ -49,6 +51,11 @@ class ServiceMapTable:
     def lookup(self, hashed_key: int) -> int:
         """Target core for an already-CRC16-hashed flow key."""
         return self._cores[self._hash.bucket_of(hashed_key)]
+
+    def lookup_batch(self, hashed_keys):
+        """Vectorized :meth:`lookup` over a numpy int array."""
+        cores = np.asarray(self._cores, dtype=np.int64)
+        return cores[self._hash.bucket_of_batch(hashed_keys)]
 
     def bucket_of(self, hashed_key: int) -> int:
         """Bucket index (exposed for migration bookkeeping and tests)."""

@@ -58,6 +58,14 @@ class MigrationTable:
         """(flow, core) pairs, oldest first."""
         return list(self._entries.items())
 
+    def flow_ids(self):
+        """View of the pinned flow ids (oldest first) — the sparse
+        overlay of a vectorized plan intersects arriving flows against
+        this set.  Any mutation of the table must be accompanied by a
+        ``map_epoch`` bump in the owning scheduler, or planned columns
+        built from a stale overlay would keep being consumed."""
+        return self._entries.keys()
+
     def pins_on(self, core_id: int) -> int:
         """Number of flows currently pinned to *core_id*."""
         return self._per_core.get(core_id, 0)

@@ -204,7 +204,15 @@ class FaultInjector:
             st.drop_records.append((fid, sq, t_ns))
 
     def _reassign(self, pkt: int, t_ns: int) -> None:
-        """Re-dispatch one drained descriptor through the scheduler."""
+        """Re-dispatch one drained descriptor through the scheduler.
+
+        Deliberately the scalar ``select_core`` even when the kernel
+        runs the vectorized fast path: the reassigned packet is not a
+        future arrival (planned columns cover arrivals only), and any
+        table mutation this call makes bumps ``map_epoch``, which the
+        kernel notices at the next arrival and replans — so fast and
+        scalar runs see identical reassignments.
+        """
         kernel = self._kernel
         st = kernel.state
         win = kernel.window

@@ -15,6 +15,8 @@ bench.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import units
 from repro.schedulers.base import Scheduler, register_scheduler
 
@@ -81,10 +83,47 @@ class AdaptiveHashScheduler(Scheduler):
                 self._next_rebalance_ns += self.rebalance_every_ns
         return self._bucket_to_core[bucket]
 
+    def assign_batch(
+        self, flow_hash, service_id, flow_id, arrival_ns, start_index: int = 0
+    ):
+        """Vectorized map lookup for the span up to (excluding) the
+        first arrival that would trigger a rebalance.
+
+        Within that span the map cannot change: only ``_rebalance``
+        mutates it, it fires only from a ``select_core`` call with
+        ``t >= _next_rebalance_ns``, and every such call — the boundary
+        arrival itself or a fault-path reassignment (whose timestamp
+        never exceeds the current arrival's) — lies at or beyond the
+        boundary.  So a pure lookup is exact.  The per-packet count
+        increment is *not* done here: :meth:`batch_commit` replicates
+        it per consumed entry, keeping the counts bit-identical to the
+        scalar path under any consumption pattern (replans, abandoned
+        columns, checkpoints resumed in either mode).  The boundary
+        packet falls to scalar ``select_core``, fires the rebalance,
+        bumps ``map_epoch`` and thereby forces a replan.
+        """
+        cut = int(np.searchsorted(arrival_ns, self._next_rebalance_ns, side="left"))
+        if cut == 0:
+            return np.empty(0, dtype=np.int64)
+        nb = len(self._bucket_to_core)
+        b2c = np.asarray(self._bucket_to_core, dtype=np.int64)
+        return b2c[flow_hash[:cut] % nb]
+
+    def batch_commit(
+        self, flow_id: int, flow_hash: int, core: int, occupancy: int, t_ns: int
+    ) -> None:
+        """The unconditional per-packet work of ``select_core``: count
+        the packet's bucket (the rebalance trigger can't fire inside a
+        planned span, so only the increment is replicated)."""
+        self._bucket_count[flow_hash % len(self._bucket_to_core)] += 1
+
     def _rebalance(self) -> None:
         """Move the lightest adequate buckets from the most- to the
         least-loaded cores (at most ``max_moves_per_round``)."""
         self.rebalances += 1
+        # the map may change below; conservatively invalidate any
+        # planned column even on a zero-move round
+        self.map_epoch += 1
         a = self.ewma_alpha
         for b, count in enumerate(self._bucket_count):
             self._bucket_rate[b] = (1 - a) * self._bucket_rate[b] + a * count

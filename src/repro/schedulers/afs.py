@@ -23,6 +23,8 @@ buckets on every arrival.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import units
 from repro.schedulers.base import Scheduler, register_scheduler
 
@@ -50,6 +52,9 @@ class AFSScheduler(Scheduler):
             raise ValueError(f"cooldown_ns must be >= 0, got {cooldown_ns}")
         self.buckets_per_core = buckets_per_core
         self.high_threshold = high_threshold
+        #: batch entries are only valid below the overload threshold —
+        #: at or above it select_core runs its migration machinery
+        self.batch_guard = high_threshold
         self.cooldown_ns = cooldown_ns
         self._bucket_to_core: list[int] = []
         self._last_migration_ns = -(1 << 62)
@@ -88,8 +93,18 @@ class AFSScheduler(Scheduler):
                     self._bucket_to_core[bucket] = minq
                     self._last_migration_ns = t_ns
                     self.bucket_migrations += 1
+                    self.map_epoch += 1
                     return minq
         return target
+
+    def assign_batch(
+        self, flow_hash, service_id, flow_id, arrival_ns, start_index: int = 0
+    ):
+        # pure bucket-map lookup; everything occupancy-dependent
+        # (imbalance accounting, cooldown, the shift itself) lives
+        # behind batch_guard and runs through scalar select_core
+        b2c = np.asarray(self._bucket_to_core, dtype=np.int64)
+        return b2c[flow_hash % len(b2c)]
 
     def stats(self) -> dict[str, float]:
         return {

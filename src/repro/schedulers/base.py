@@ -47,18 +47,49 @@ class Scheduler(ABC):
     per-packet :meth:`select_core` calls interleaved with queue-edge
     notifications.  ``bind`` may be called again to reset the scheduler
     onto a fresh system.
+
+    **Map-epoch protocol** (the vectorized fast path): ``map_epoch`` is
+    a monotone counter that the scheduler bumps on *every* mutation of
+    whatever tables :meth:`assign_batch` reads — map-table grow/shrink,
+    migration-table insert/evict/prune, bucket shift, rebalance, core
+    donation, ``core_down``/``core_up`` reactions, and :meth:`bind`
+    itself.  The kernel precomputes a ``core_of`` column from
+    :meth:`assign_batch` and keeps consuming it only while ``map_epoch``
+    is unchanged; any bump invalidates the column and the remaining
+    suffix is recomputed.  A scheduler that never implements
+    :meth:`assign_batch` can ignore the counter entirely — the kernel
+    falls back to per-packet :meth:`select_core`.
     """
 
     #: Registry name (set on subclasses via :func:`register_scheduler`).
     name: str = "?"
 
+    #: Queue-occupancy threshold above which a batch-planned assignment
+    #: must be re-taken through :meth:`select_core` (the planned entry
+    #: is only valid for a non-overloaded target).  ``None`` means
+    #: planned entries are unconditionally valid.
+    batch_guard: int | None = None
+
+    #: Per-packet side-effect hook
+    #: ``(flow_id, flow_hash, core, occupancy, t_ns)`` the kernel calls
+    #: for every *consumed* batch entry, replicating the unconditional
+    #: bookkeeping ``select_core`` would have done (LAPS's AFD observe +
+    #: allocator quietness, adaptive-hash's bucket counts).  ``None``
+    #: when the scheduler has no such per-packet state.  ``occupancy``
+    #: is the guard's queue reading, or ``-1`` when ``batch_guard`` is
+    #: ``None`` (no occupancy was read).
+    batch_commit: Callable[[int, int, int, int, int], None] | None = None
+
     def __init__(self) -> None:
         self._loads: LoadView | None = None
+        #: monotone table-mutation counter (see class docstring)
+        self.map_epoch = 0
 
     # ------------------------------------------------------------------
     def bind(self, loads: LoadView) -> None:
         """Attach to a system; called before the first packet."""
         self._loads = loads
+        self.map_epoch += 1
 
     @property
     def loads(self) -> LoadView:
@@ -76,6 +107,41 @@ class Scheduler(ABC):
         self, flow_id: int, service_id: int, flow_hash: int, t_ns: int
     ) -> int:
         """Target core for one packet (must be in ``[0, num_cores)``)."""
+
+    def assign_batch(
+        self,
+        flow_hash,
+        service_id,
+        flow_id,
+        arrival_ns,
+        start_index: int = 0,
+    ):
+        """Vectorized core assignment for a span of future arrivals.
+
+        Arguments are aligned numpy column slices (``flow_hash`` and
+        ``flow_id`` int64, ``service_id`` int32, ``arrival_ns`` int64)
+        and *start_index* is the global packet index of element 0 —
+        schedulers that keep global bookkeeping (e.g. adaptive-hash's
+        already-committed-counts watermark) key on it so replanning an
+        overlapping span stays idempotent.
+
+        Returns an int array of planned cores, or ``None`` when no fast
+        path exists (the base implementation).  The contract:
+
+        * the result may be a **prefix** — any length ``<= len(input)``
+          is valid; the kernel falls back to :meth:`select_core` past
+          the end (and replans after the next epoch bump);
+        * an entry of ``-1`` means "this packet needs the scalar path"
+          (e.g. a stale migration pin whose removal is a side effect);
+        * entries are exact under two conditions the kernel enforces:
+          ``map_epoch`` has not changed since planning, and — when
+          ``batch_guard`` is set — the target's queue occupancy at
+          dispatch is below the guard;
+        * planning itself must be idempotent: calling this twice over
+          overlapping spans (same ``start_index`` semantics) must leave
+          the scheduler in the same state as calling it once.
+        """
+        return None
 
     def on_queue_empty(self, core_id: int, t_ns: int) -> None:
         """The core's input queue just drained (idle-timer edge)."""

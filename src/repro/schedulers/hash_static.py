@@ -22,3 +22,11 @@ class StaticHashScheduler(Scheduler):
         self, flow_id: int, service_id: int, flow_hash: int, t_ns: int
     ) -> int:
         return flow_hash % self.loads.num_cores
+
+    def assign_batch(
+        self, flow_hash, service_id, flow_id, arrival_ns, start_index: int = 0
+    ):
+        # the map is the modulus itself: pure, side-effect free, and
+        # never mutated, so map_epoch never bumps after bind and one
+        # plan covers a whole window
+        return flow_hash % self.loads.num_cores

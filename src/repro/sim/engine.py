@@ -56,6 +56,20 @@ class EventQueue:
         return self._heap[0][0] if self._heap else None
 
     @property
+    def heap(self) -> list[tuple[int, int, Any]]:
+        """The raw heap list, for compiled consumers that inline
+        ``heapq.heappop`` and batch the bookkeeping through
+        :meth:`flush_pops`.  Treat as read-and-heappop-only."""
+        return self._heap
+
+    def flush_pops(self, count: int, last_pop_ns: int) -> None:
+        """Record *count* events popped directly off :attr:`heap`, the
+        last at *last_pop_ns*.  Callers must flush before anything that
+        reads :attr:`popped` / :attr:`now_ns` or pushes new events."""
+        self.popped += count
+        self._last_pop_ns = last_pop_ns
+
+    @property
     def now_ns(self) -> int:
         """Time of the last popped event (-1 before the first pop) —
         the earliest instant a new event may be scheduled at."""

@@ -28,7 +28,14 @@ Two properties are preserved from the original monolithic loop:
   and ``complete_until`` as closures over the state containers (lists,
   dicts, arrays mutated in place), so the per-packet path performs no
   ``self.`` attribute lookups and allocates no per-packet objects; the
-  closures re-compile only when the window slides (once per chunk);
+  closures re-compile only when the window slides (once per chunk).
+  On top of that sits the **epoch-cached vectorized scheduling** fast
+  path: for schedulers implementing
+  :meth:`~repro.schedulers.base.Scheduler.assign_batch` the kernel
+  plans a ``core_of`` column for the window suffix in one vector call
+  and the arrival loop consumes it instead of calling ``select_core``
+  per packet, re-planning whenever the scheduler's ``map_epoch`` shows
+  a table mutation (see ``docs/performance.md``);
 * **determinism** — advancing in any sequence of ``run_until`` horizons
   produces bit-identical results to one uninterrupted ``run()``,
   because events are popped in the same global time order either way,
@@ -56,7 +63,9 @@ workload or vice versa.  See ``docs/architecture.md``.
 from __future__ import annotations
 
 import pickle
+from collections import deque
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -81,7 +90,16 @@ from repro.sim.workload import Workload
 __all__ = ["SimState", "SimKernel", "Checkpoint", "CHECKPOINT_VERSION"]
 
 #: bump when the pickled state layout changes incompatibly
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
+
+#: local-index stride the arrival loop converts to plain Python lists
+#: at a time — bounds resident unboxed columns to O(segment) for any
+#: window size (a whole-window tolist would undo PR 4's memory bounds)
+_SEGMENT = 65_536
+
+#: cap on how far ahead one assign_batch plan reaches; bounds both the
+#: column's list size and the vector work wasted per epoch bump
+_PLAN_SPAN = 65_536
 
 
 # ----------------------------------------------------------------------
@@ -110,7 +128,10 @@ class SimState:
     core_current_pkt: list[int]
     #: in-flight packets tombstoned by a core failure
     killed_pkts: set[int]
-    flow_last_core: np.ndarray
+    #: last core each flow was served on (-1 = never) — a plain list,
+    #: not an ndarray: the hot loop reads and writes one scalar per
+    #: packet, where list indexing beats numpy scalar boxing ~4x
+    flow_last_core: list[int]
     flow_migrated: np.ndarray
     queues: QueueBank
     events: EventQueue
@@ -136,7 +157,7 @@ class SimState:
             core_speed=[1.0] * n_cores,
             core_current_pkt=[-1] * n_cores,
             killed_pkts=set(),
-            flow_last_core=np.full(source.num_flows, -1, dtype=np.int32),
+            flow_last_core=[-1] * source.num_flows,
             flow_migrated=np.zeros(source.num_flows, dtype=bool),
             queues=QueueBank(config.num_cores, config.queue_capacity),
             events=EventQueue(),
@@ -230,6 +251,7 @@ class SimKernel:
         workload: Workload | PacketSource,
         *,
         bus: HookBus | None = None,
+        vectorized: bool = True,
         state: SimState | None = None,
         _resumed: bool = False,
         _chunks: list[WorkloadChunk] | None = None,
@@ -252,11 +274,11 @@ class SimKernel:
         self.config = config
         self.scheduler = scheduler
         self.source = source
-        self._chunks: list[WorkloadChunk] = list(_chunks) if _chunks else []
+        self._chunks: deque[WorkloadChunk] = deque(_chunks) if _chunks else deque()
         self._exhausted = bool(_exhausted)
         #: live arrival window (consecutive un-retired chunks)
         self.window: WorkloadChunk = (
-            concat_chunks(self._chunks) if self._chunks else empty_chunk(0)
+            concat_chunks(list(self._chunks)) if self._chunks else empty_chunk(0)
         )
         self.bus = bus if bus is not None else HookBus()
         self.state = state if state is not None else SimState.initial(config, source)
@@ -265,6 +287,24 @@ class SimKernel:
         self._start_packet = None
         self._complete_until = None
         self._wl_fp: str | None = None
+        #: the vectorized fast path is on iff requested and the
+        #: scheduler actually overrides assign_batch (results are
+        #: bit-identical either way — the flag exists for equivalence
+        #: tests and scalar-baseline benchmarks, and deliberately does
+        #: not enter the config fingerprint)
+        self.vectorized = bool(vectorized)
+        self._batch_on = self.vectorized and (
+            type(scheduler).assign_batch is not Scheduler.assign_batch
+        )
+        # planned core_of column: local-index span [_col_lo, _col_hi)
+        # of the current window, valid while the scheduler's map_epoch
+        # equals _col_epoch.  Never checkpointed — replanning is
+        # idempotent by the assign_batch contract.
+        self._col: list[int] | None = None
+        self._col_lo = 0
+        self._col_hi = 0
+        self._col_epoch = -1
+        self._col_plan_li = -1
         if not _resumed:
             # a restored scheduler is already bound to the restored
             # queue bank (shared pickle graph); re-binding would reset
@@ -367,15 +407,54 @@ class SimKernel:
             self._exhausted = True
             return False
         chunks = self._chunks
+        retired = False
         if chunks:
             lo = self._min_live_pkt()
             while chunks and chunks[0].end <= lo:
-                chunks.pop(0)
+                chunks.popleft()
+                retired = True
+        win = self.window
         chunks.append(chunk)
-        self.window = concat_chunks(chunks)
+        if not retired and len(win) and win.base == chunks[0].base:
+            # nothing retired: extend the standing window with the one
+            # new chunk instead of re-concatenating every live chunk
+            self.window = concat_chunks([win, chunk])
+        else:
+            self.window = concat_chunks(list(chunks))
         self._start_packet = None
         self._complete_until = None
+        self._col = None
+        self._col_lo = self._col_hi = 0
+        self._col_epoch = -1
+        self._col_plan_li = -1
         return True
+
+    def _plan_column(self, li: int) -> None:
+        """(Re)compute the planned ``core_of`` column for the window
+        suffix starting at local index *li*, under the scheduler's
+        current tables; stamps the column with the post-plan
+        ``map_epoch`` (planning itself must not self-invalidate)."""
+        sched = self.scheduler
+        win = self.window
+        hi = len(win)
+        if hi > li + _PLAN_SPAN:
+            hi = li + _PLAN_SPAN
+        out = sched.assign_batch(
+            win.flow_hash[li:hi],
+            win.service_id[li:hi],
+            win.flow_id[li:hi],
+            win.arrival_ns[li:hi],
+            win.base + li,
+        )
+        if out is None:
+            self._col = []
+            self._col_hi = li
+        else:
+            self._col = out.tolist()
+            self._col_hi = li + len(self._col)
+        self._col_lo = li
+        self._col_plan_li = li
+        self._col_epoch = sched.map_epoch
 
     def _peek_arrival_ns(self) -> int | None:
         """Arrival time of the next undispatched packet, pulling chunks
@@ -420,30 +499,51 @@ class SimKernel:
         metrics = st.metrics
         reorder = st.reorder
         base = win.base
-        arrival = win.arrival_ns
-        service = win.service_id
-        flow = win.flow_id
-        size = win.size_bytes
-        seq = win.seq
+        # bound-method element accessors: ``arr.item(i)`` unboxes a
+        # numpy scalar to a Python int noticeably cheaper than
+        # ``int(arr[i])`` on the random-access paths below
+        arr_item = win.arrival_ns.item
+        svc_item = win.service_id.item
+        flow_item = win.flow_id.item
+        seq_item = win.seq.item
+        # nominal per-packet service time (eq. 3 without penalties),
+        # vectorized once per window: base_ns[sid] + round(p64*size/64).
+        # p64*size is exact in int64 and /64.0 is an exact float scale,
+        # so np.rint matches Python round() bit-for-bit.  Kept as an
+        # int64 array (not a list) so resident size stays O(window)
+        # bytes, matching the other window columns.
+        if len(win):
+            sids = win.service_id
+            nominal = np.asarray(base_ns, dtype=np.int64)[sids] + np.rint(
+                np.asarray(per64_ns, dtype=np.float64)[sids]
+                * win.size_bytes.astype(np.float64)
+                / 64.0
+            ).astype(np.int64)
+        else:
+            nominal = np.empty(0, dtype=np.int64)
+        proc_item = nominal.item
         collect_lat = cfg.collect_latencies
         latencies = metrics.latencies_ns
         record_dep = cfg.record_departures
         departures = st.departures
         on_queue_empty = self.bus.dispatcher("queue_empty")
         dispatch_timed = self.bus.dispatcher("timed_event") or _no_timed_handler
+        heap = events.heap
+        on_depart = reorder.on_depart
+        busy_ns = metrics.busy_ns_per_core
+        # per-core FIFO deques, hoisted past QueueBank.__getitem__ and
+        # BoundedQueue.take/is_empty (the deques are mutated in place
+        # for a bank's whole lifetime, so the bindings stay valid)
+        q_items = [q._items for q in queues]
 
         def start_packet(core: int, pkt: int, t_ns: int) -> None:
             """Begin service of packet *pkt* (global index) on *core*."""
             li = pkt - base
-            sid = int(service[li])
-            fid = int(flow[li])
-            t_proc = base_ns[sid]
-            p64 = per64_ns[sid]
-            if p64:
-                t_proc += round(p64 * int(size[li]) / 64)
+            sid = svc_item(li)
+            fid = flow_item(li)
+            t_proc = proc_item(li)
             last = flow_last_core[fid]
-            migrated = last >= 0 and last != core
-            if migrated:
+            if last >= 0 and last != core:
                 t_proc += fm_pen
                 metrics.flow_migration_events += 1
                 flow_migrated[fid] = True
@@ -458,34 +558,72 @@ class SimKernel:
                 t_proc = int(round(t_proc * speed))
             core_busy[core] = True
             core_current_pkt[core] = pkt
-            metrics.busy_ns_per_core[core] += t_proc
-            events.push(t_ns + t_proc, (core, pkt))
+            busy_ns[core] += t_proc
+            # inlined events.push: completions are scheduled at
+            # t_ns + t_proc >= t_ns >= the last pop, so the causality
+            # check is vacuous here (the validated push remains on the
+            # injector path)
+            s = events._seq
+            heappush(heap, (t_ns + t_proc, s, (core, pkt)))
+            events._seq = s + 1
 
         def complete_until(horizon_ns: int) -> None:
-            """Drain heap events with time <= horizon in time order."""
-            for t_done, (core, pkt) in events.pop_until(horizon_ns):
+            """Drain heap events with time <= horizon in time order.
+
+            Pops are inlined (heappop on the raw heap) with the queue's
+            popped/now bookkeeping — and the departed/last-depart
+            metrics — batched in locals; both batches are flushed
+            before any timed-event or queue-empty dispatch, so handlers
+            that push events or read counters see exact state, and at
+            exit, before probes sample.
+            """
+            n_popped = 0
+            n_departed = 0
+            t_done = -1
+            t_dep = -1
+            while heap and heap[0][0] <= horizon_ns:
+                t_done, _, payload = heappop(heap)
+                n_popped += 1
+                core, pkt = payload
                 if core < 0:  # timed platform event, not a completion
+                    events.flush_pops(n_popped, t_done)
+                    n_popped = 0
+                    if n_departed:
+                        metrics.departed += n_departed
+                        metrics.last_depart_ns = t_dep
+                        n_departed = 0
                     dispatch_timed(pkt, t_done)
                     continue
                 if killed_pkts and pkt in killed_pkts:
                     killed_pkts.discard(pkt)  # died with its core
                     continue
                 li = pkt - base
-                metrics.departed += 1
-                metrics.last_depart_ns = t_done  # pops are time-ordered
-                reorder.on_depart(int(flow[li]), int(seq[li]))
+                n_departed += 1
+                t_dep = t_done  # pops are time-ordered
+                on_depart(flow_item(li), seq_item(li))
                 if collect_lat:
-                    latencies.append(t_done - int(arrival[li]))
+                    latencies.append(t_done - arr_item(li))
                 if record_dep:
-                    departures.append((int(flow[li]), int(seq[li]), t_done))
-                q = queues[core]
-                if q.is_empty:
+                    departures.append((flow_item(li), seq_item(li), t_done))
+                qi = q_items[core]
+                if qi:
+                    start_packet(core, qi.popleft(), t_done)
+                else:
                     core_busy[core] = False
                     core_current_pkt[core] = -1
                     if on_queue_empty is not None:
+                        events.flush_pops(n_popped, t_done)
+                        n_popped = 0
+                        if n_departed:
+                            metrics.departed += n_departed
+                            metrics.last_depart_ns = t_dep
+                            n_departed = 0
                         on_queue_empty(core, t_done)
-                else:
-                    start_packet(core, q.take(), t_done)
+            if n_popped:
+                events.flush_pops(n_popped, t_done)
+            if n_departed:
+                metrics.departed += n_departed
+                metrics.last_depart_ns = t_dep
 
         self._start_packet = start_packet
         self._complete_until = complete_until
@@ -523,6 +661,7 @@ class SimKernel:
         cfg = self.config
         sched = self.scheduler
         n_cores = cfg.num_cores
+        cap = cfg.queue_capacity
         record_dep = cfg.record_departures
         metrics = st.metrics
         queues = st.queues
@@ -531,6 +670,12 @@ class SimKernel:
         drop_records = st.drop_records
         gen_per_service = metrics.generated_per_service
         drop_per_service = metrics.dropped_per_service
+        qs = [queues[c] for c in range(n_cores)]
+        ev_heap = st.events.heap  # mutated in place; identity is stable
+        batch_on = self._batch_on
+        sel = sched.select_core
+        guard = sched.batch_guard
+        commit = sched.batch_commit
         while True:
             if self._start_packet is None:
                 self._activate()
@@ -541,30 +686,87 @@ class SimKernel:
             win = self.window
             base = win.base
             arrival = win.arrival_ns
-            service = win.service_id
-            flow = win.flow_id
-            fhash = win.flow_hash
             seq = win.seq
             n_local = arrival.shape[0]
             li = li0 = st.next_arrival - base
+            # column-plan locals mirror the kernel attrs; they diverge
+            # only through _plan_column, which updates both
+            col = self._col
+            cl = self._col_lo
+            ch = self._col_hi
+            col_epoch = self._col_epoch
+            plan_li = self._col_plan_li
+            # arrival columns are unboxed to plain lists one bounded
+            # segment at a time: list indexing beats per-packet numpy
+            # scalar conversion several times over
+            seg_lo = 0
+            seg_hi = li  # force a segment load on the first iteration
+            arr_seg = svc_seg = flow_seg = hash_seg = ()
             try:
                 while li < n_local:
-                    t = int(arrival[li])
+                    if li >= seg_hi:
+                        seg_lo = li
+                        seg_hi = li + _SEGMENT
+                        if seg_hi > n_local:
+                            seg_hi = n_local
+                        arr_seg = arrival[seg_lo:seg_hi].tolist()
+                        svc_seg = win.service_id[seg_lo:seg_hi].tolist()
+                        flow_seg = win.flow_id[seg_lo:seg_hi].tolist()
+                        hash_seg = win.flow_hash[seg_lo:seg_hi].tolist()
+                    k = li - seg_lo
+                    t = arr_seg[k]
                     if t > t_ns:
                         break
-                    complete_until(t)
+                    if ev_heap and ev_heap[0][0] <= t:
+                        complete_until(t)
                     if sample is not None:
                         sample(t)
                     metrics.generated += 1
-                    sid = int(service[li])
+                    sid = svc_seg[k]
                     gen_per_service[sid] += 1
-                    core = sched.select_core(int(flow[li]), sid, int(fhash[li]), t)
+                    if batch_on:
+                        # any table mutation since the plan — by the
+                        # completions/timed events just drained, or by a
+                        # previous packet's scalar fallback — bumped the
+                        # epoch: replan the remaining suffix.  Also
+                        # replan on walking off a non-empty span.
+                        if sched.map_epoch != col_epoch or (
+                            li >= ch and li > plan_li
+                        ):
+                            self._plan_column(li)
+                            col = self._col
+                            cl = self._col_lo
+                            ch = self._col_hi
+                            col_epoch = self._col_epoch
+                            plan_li = self._col_plan_li
+                        if cl <= li < ch:
+                            core = col[li - cl]
+                            if core < 0:
+                                # sentinel: this packet needs the
+                                # scalar path (e.g. stale pin pruning)
+                                core = sel(flow_seg[k], sid, hash_seg[k], t)
+                            elif guard is not None:
+                                q = qs[core]
+                                occ = cap if q.down else len(q)
+                                if occ >= guard:
+                                    # overloaded target: the planned
+                                    # entry is invalid, run the real
+                                    # balancer
+                                    core = sel(flow_seg[k], sid, hash_seg[k], t)
+                                elif commit is not None:
+                                    commit(flow_seg[k], hash_seg[k], core, occ, t)
+                            elif commit is not None:
+                                commit(flow_seg[k], hash_seg[k], core, -1, t)
+                        else:
+                            core = sel(flow_seg[k], sid, hash_seg[k], t)
+                    else:
+                        core = sel(flow_seg[k], sid, hash_seg[k], t)
                     if not 0 <= core < n_cores:
                         raise SimulationError(
                             f"{sched.name} returned core {core} of {n_cores}"
                         )
                     if core_busy[core]:
-                        q = queues[core]
+                        q = qs[core]
                         if q.is_empty and on_queue_busy is not None:
                             on_queue_busy(core, t)
                         if not q.offer(base + li):
@@ -572,9 +774,9 @@ class SimKernel:
                             drop_per_service[sid] += 1
                             if q.down:  # black-holed: the target core is dead
                                 metrics.fault_dropped += 1
-                            reorder.on_drop(int(flow[li]), int(seq[li]))
+                            reorder.on_drop(flow_seg[k], seq.item(li))
                             if record_dep:
-                                drop_records.append((int(flow[li]), int(seq[li]), t))
+                                drop_records.append((flow_seg[k], seq.item(li), t))
                     else:
                         if on_queue_busy is not None:
                             on_queue_busy(core, t)
@@ -586,6 +788,12 @@ class SimKernel:
                     st.last_arrival_ns = int(arrival[li - 1])
             if li < n_local:
                 break  # the next arrival is beyond the horizon
+            # release the compiled closures and unboxed segments before
+            # sliding: they bind the old window's arrays (and its
+            # service-time column), and holding them across the pull
+            # would double the resident window at the peak
+            complete_until = start_packet = None
+            arr_seg = svc_seg = flow_seg = hash_seg = ()
             if not self._pull_chunk():
                 break  # source exhausted: every arrival dispatched
         if self._complete_until is None:  # pragma: no cover - defensive
@@ -747,8 +955,14 @@ class SimKernel:
         *,
         probe=None,
         bus: HookBus | None = None,
+        vectorized: bool = True,
     ) -> "SimKernel":
         """Rebuild a kernel from *checkpoint* and continue the run.
+
+        *vectorized* need not match the checkpointing kernel's setting:
+        planned columns are never serialized and every scheduler's
+        batch bookkeeping is committed per dispatched packet, so either
+        mode resumes to the same report.
 
         *config* and *workload* must describe the packet sequence the
         checkpointed run used (validated by fingerprint — materialized
@@ -788,7 +1002,8 @@ class SimKernel:
                 exhausted = extras["exhausted"]
         kernel = cls(
             config, scheduler, source_arg, bus=bus, state=state,
-            _resumed=True, _chunks=chunks, _exhausted=exhausted,
+            vectorized=vectorized, _resumed=True, _chunks=chunks,
+            _exhausted=exhausted,
         )
         if injector is not None:
             kernel.attach_injector(injector, resumed=True)

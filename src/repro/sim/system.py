@@ -62,8 +62,10 @@ class NetworkProcessorSim:
         workload: Workload | PacketSource,
         probe=None,
         injector=None,
+        *,
+        vectorized: bool = True,
     ) -> None:
-        self.kernel = SimKernel(config, scheduler, workload)
+        self.kernel = SimKernel(config, scheduler, workload, vectorized=vectorized)
         self.config = config
         self.scheduler = scheduler
         self.workload = workload
@@ -110,11 +112,18 @@ def simulate(
     config: SimConfig | None = None,
     probe=None,
     injector=None,
+    *,
+    vectorized: bool = True,
 ) -> SimReport:
     """Convenience one-shot: run *scheduler* on *workload* (a
     materialized :class:`Workload` or a streaming
-    :class:`~repro.sim.source.PacketSource`)."""
+    :class:`~repro.sim.source.PacketSource`).
+
+    ``vectorized=False`` forces the per-packet scalar scheduling path;
+    the report is bit-identical either way (the equivalence suite pins
+    this), so the flag only matters for benchmarking both paths.
+    """
     return NetworkProcessorSim(
         config or SimConfig(), scheduler, workload, probe=probe,
-        injector=injector,
+        injector=injector, vectorized=vectorized,
     ).run()
