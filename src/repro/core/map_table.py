@@ -22,7 +22,7 @@ __all__ = ["ServiceMapTable"]
 class ServiceMapTable:
     """One service's bucket list plus its incremental hash."""
 
-    __slots__ = ("service_id", "_cores", "_hash")
+    __slots__ = ("service_id", "_cores", "_hash", "_cores_arr")
 
     def __init__(self, service_id: int, initial_cores: list[int]) -> None:
         if not initial_cores:
@@ -34,6 +34,10 @@ class ServiceMapTable:
         self.service_id = service_id
         self._cores: list[int] = list(initial_cores)
         self._hash = IncrementalHash(len(initial_cores))
+        #: bucket list as int64, rebuilt lazily after add/remove (the
+        #: table only changes on grow/shrink, so lookup_batch must not
+        #: pay an O(cores) asarray per call)
+        self._cores_arr: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -54,7 +58,9 @@ class ServiceMapTable:
 
     def lookup_batch(self, hashed_keys):
         """Vectorized :meth:`lookup` over a numpy int array."""
-        cores = np.asarray(self._cores, dtype=np.int64)
+        cores = self._cores_arr
+        if cores is None:
+            cores = self._cores_arr = np.asarray(self._cores, dtype=np.int64)
         return cores[self._hash.bucket_of_batch(hashed_keys)]
 
     def bucket_of(self, hashed_key: int) -> int:
@@ -71,6 +77,7 @@ class ServiceMapTable:
             )
         split = self._hash.grow()
         self._cores.append(core_id)
+        self._cores_arr = None
         return split
 
     def remove_core(self, core_id: int) -> None:
@@ -95,6 +102,7 @@ class ServiceMapTable:
         if idx != last:
             self._cores[idx], self._cores[last] = self._cores[last], self._cores[idx]
         self._cores.pop()
+        self._cores_arr = None
         self._hash.shrink()
 
     def remapped_fraction_on_grow(self, sample_hashes: list[int]) -> float:

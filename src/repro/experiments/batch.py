@@ -78,12 +78,21 @@ class RunSpec:
     scheduler_kwargs: dict = field(default_factory=dict)
     config_fn: Callable | None = None
     config_kwargs: dict = field(default_factory=dict)
+    #: optional fault-injector factory — built fresh per run (injectors
+    #: are stateful) and handed to :func:`~repro.sim.system.simulate`
+    injector_fn: Callable | None = None
+    injector_kwargs: dict = field(default_factory=dict)
     label: dict = field(default_factory=dict)
 
     def build_config(self) -> SimConfig:
         if self.config_fn is None:
             return SimConfig()
         return self.config_fn(**self.config_kwargs)
+
+    def build_injector(self):
+        if self.injector_fn is None:
+            return None
+        return self.injector_fn(**self.injector_kwargs)
 
 
 @dataclass
@@ -105,7 +114,10 @@ def _group_task(packed: tuple) -> list[tuple[int, BatchRun]]:
     out: list[tuple[int, BatchRun]] = []
     for index, spec in indexed_specs:
         scheduler = spec.scheduler_fn(**spec.scheduler_kwargs)
-        report = simulate(workload, scheduler, spec.build_config())
+        report = simulate(
+            workload, scheduler, spec.build_config(),
+            injector=spec.build_injector(),
+        )
         out.append((index, BatchRun(spec, report)))
     return out
 

@@ -13,7 +13,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments import ablations, fig2, fig7, fig8, fig9, timing
+from repro.experiments import ablations, fig2, fig7, fig8, fig9, timing, tournament
 from repro.faults import harness as faults_harness
 from repro.sim.source import DEFAULT_CHUNK_SIZE
 
@@ -31,6 +31,8 @@ _EXPERIMENTS = {
         quick=quick, jobs=jobs, **st),
     "faults": lambda quick, jobs, **_: [
         faults_harness.run(quick=quick, jobs=jobs)],
+    "tournament": lambda quick, jobs, **_: tournament.run(
+        quick=quick, jobs=jobs),
 }
 
 

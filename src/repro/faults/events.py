@@ -453,7 +453,18 @@ class FaultSchedule:
             raise ConfigError(f"duration_ns must be positive, got {duration_ns}")
         if num_events <= 0:
             raise ConfigError(f"num_events must be positive, got {num_events}")
-        cap = max_concurrent_failures or max(1, num_cores // 2)
+        if max_concurrent_failures is None:
+            cap = max(1, num_cores // 2)
+        else:
+            if max_concurrent_failures < 0:
+                raise ConfigError(
+                    f"max_concurrent_failures must be >= 0, "
+                    f"got {max_concurrent_failures}"
+                )
+            # 0 is a real request ("no core failures"), not "unset":
+            # ``max_concurrent_failures or default`` silently replaced
+            # it with the default and produced CoreFail events anyway
+            cap = max_concurrent_failures
         rng = np.random.default_rng(seed)
         events: list[FaultEvent] = []
         # a core is failed at most once per random schedule, which both

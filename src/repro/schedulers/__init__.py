@@ -1,6 +1,9 @@
 """Scheduler implementations: the interface, the paper's baselines
-(FCFS, static hash, AFS) and reference comparators (exact top-k oracle,
-single-cache ElephantTrap detector).
+(FCFS, static hash, AFS), reference comparators (exact top-k oracle,
+single-cache ElephantTrap detector), and the literature zoo the
+tournament harness races — RSS/Toeplitz static hashing, Flow
+Director-style per-flow rebinding, Sprinklers variable-size striping
+and flowlet switching (see ``docs/simulator.md``, "The scheduler zoo").
 
 The LAPS scheduler itself lives in :mod:`repro.core.laps` (it is the
 paper's contribution); it implements the same
@@ -21,6 +24,10 @@ from repro.schedulers.afs import AFSScheduler
 from repro.schedulers.adaptive_hash import AdaptiveHashScheduler
 from repro.schedulers.oracle import ExactTopKDetector, TopKMigrationScheduler
 from repro.schedulers.elephant_trap import ElephantTrap
+from repro.schedulers.rss_static import RSSStaticScheduler
+from repro.schedulers.flow_director import FlowDirectorScheduler
+from repro.schedulers.sprinklers import SprinklersScheduler
+from repro.schedulers.flowlet import FlowletScheduler
 
 # importing registers "laps" via the decorator in repro.core.laps
 import repro.core.laps  # noqa: E402,F401
@@ -38,4 +45,8 @@ __all__ = [
     "ExactTopKDetector",
     "TopKMigrationScheduler",
     "ElephantTrap",
+    "RSSStaticScheduler",
+    "FlowDirectorScheduler",
+    "SprinklersScheduler",
+    "FlowletScheduler",
 ]

@@ -140,3 +140,57 @@ class TestRunBatch:
         inline = run_batch(specs, jobs=1)
         pooled = run_batch(specs, jobs=2)
         assert [r.report for r in inline] == [r.report for r in pooled]
+
+
+def _fail_injector(core_id: int = 0, at_ns: int = 2000):
+    """Module-level (picklable) injector factory for RunSpec tests."""
+    from repro.faults.events import CoreFail, FaultSchedule
+    from repro.faults.injector import FaultInjector
+
+    return FaultInjector(FaultSchedule([CoreFail(at_ns, core_id=core_id)]))
+
+
+class TestInjectorSupport:
+    def test_no_injector_by_default(self):
+        spec = RunSpec(
+            workload=WorkloadSpec.of(_workload, n=5),
+            scheduler_fn=StaticHashScheduler,
+        )
+        assert spec.build_injector() is None
+
+    def test_injector_built_and_applied(self):
+        wspec = WorkloadSpec.of(_workload, n=40)
+        faulted = RunSpec(
+            workload=wspec,
+            scheduler_fn=StaticHashScheduler,
+            config_fn=_config,
+            injector_fn=_fail_injector,
+            injector_kwargs={"core_id": 0, "at_ns": 2000},
+        )
+        clean = RunSpec(
+            workload=wspec,
+            scheduler_fn=StaticHashScheduler,
+            config_fn=_config,
+        )
+        runs = run_batch([faulted, clean])
+        expected = simulate(
+            _workload(40), StaticHashScheduler(), _config(),
+            injector=_fail_injector(core_id=0, at_ns=2000),
+        )
+        assert runs[0].report == expected
+        assert runs[0].report != runs[1].report
+
+    def test_injector_survives_process_pool(self):
+        specs = [
+            RunSpec(
+                workload=WorkloadSpec.of(_workload, n=30 + g),
+                scheduler_fn=StaticHashScheduler,
+                config_fn=_config,
+                injector_fn=_fail_injector,
+                label={"g": g},
+            )
+            for g in range(2)
+        ]
+        pooled = run_batch(specs, jobs=2)
+        inline = run_batch(specs, jobs=1)
+        assert [r.report for r in pooled] == [r.report for r in inline]

@@ -187,3 +187,33 @@ class TestRandomSchedules:
             num_events=12,
         )
         assert all(0 <= ev.time_ns <= units.ms(10) for ev in s)
+
+
+class TestRandomConcurrencyCap:
+    KW = dict(duration_ns=units.ms(10), num_cores=8, num_services=4,
+              num_events=20)
+
+    def test_zero_cap_means_no_core_failures(self):
+        """Regression: ``max_concurrent_failures=0`` used to be
+        coalesced into the default (half the cores) by an ``or``
+        fallback, so "no core failures" schedules still failed cores."""
+        for seed in range(10):
+            s = FaultSchedule.random(
+                seed, max_concurrent_failures=0, **self.KW
+            )
+            assert not any(isinstance(ev, CoreFail) for ev in s)
+            assert len(s.events) > 0  # other event kinds still occur
+
+    def test_explicit_cap_bounds_failed_cores(self):
+        for seed in range(10):
+            s = FaultSchedule.random(
+                seed, max_concurrent_failures=2, **self.KW
+            )
+            fails = {ev.core_id for ev in s if isinstance(ev, CoreFail)}
+            assert len(fails) <= 2
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.random(
+                0, max_concurrent_failures=-1, **self.KW
+            )

@@ -175,7 +175,13 @@ def test_base_assign_batch_is_none():
         assert sched.assign_batch(fh, sid, fid, arr, 0) is None
 
 
-@pytest.mark.parametrize("name", ["hash-static", "afs", "adaptive-hash", "laps"])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "hash-static", "afs", "adaptive-hash", "laps",
+        "rss-static", "flow-director", "sprinklers", "flowlet",
+    ],
+)
 def test_planning_is_idempotent(name):
     """Planning twice over overlapping spans must not change state
     (the kernel replans the same suffix after every epoch bump)."""
@@ -198,7 +204,12 @@ def test_planning_is_idempotent(name):
 # kernel-level bit-identity
 # ----------------------------------------------------------------------
 
-KERNEL_SCHEDULERS = ["hash-static", "afs", "adaptive-hash", "laps"]
+KERNEL_SCHEDULERS = [
+    "hash-static", "afs", "adaptive-hash", "laps",
+    # the zoo (PR 6): every new scheduler rides the same epoch/batch
+    # contract, so it gets the full kernel-level bit-identity battery
+    "rss-static", "flow-director", "sprinklers", "flowlet",
+]
 
 
 def _two_service_inputs(packets=3_000):
@@ -270,6 +281,35 @@ def test_vectorized_identical_under_faults(name):
     slow = simulate(
         wl, _kernel_sched(name), cfg,
         injector=FaultInjector(_faults()), vectorized=False,
+    )
+    assert fast == slow
+
+
+def _flap_faults() -> FaultSchedule:
+    """A core that fails and recovers twice (flap): every down/up edge
+    is an epoch-bump source for map-keeping schedulers and an eviction
+    trigger for flowlet/LAPS, so the planned columns churn mid-run."""
+    return FaultSchedule(
+        [
+            CoreFail(units.us(200), core_id=2),
+            CoreRecover(units.us(320), core_id=2),
+            CoreFail(units.us(450), core_id=2),
+            CoreRecover(units.us(600), core_id=2),
+        ]
+    )
+
+
+@pytest.mark.parametrize("name", KERNEL_SCHEDULERS)
+def test_vectorized_identical_under_core_flaps(name):
+    cfg = _config()
+    wl = _workload(6, 701)
+    fast = simulate(
+        wl, _kernel_sched(name), cfg,
+        injector=FaultInjector(_flap_faults()), vectorized=True,
+    )
+    slow = simulate(
+        wl, _kernel_sched(name), cfg,
+        injector=FaultInjector(_flap_faults()), vectorized=False,
     )
     assert fast == slow
 
