@@ -19,6 +19,13 @@ where ``/proc`` is unavailable.  Assertions:
 * at the large size, streamed stays below materialized and below a
   generous fixed ceiling over the interpreter baseline.
 
+The same harness covers pcap replay:
+:class:`repro.workloads.replay.PcapReplaySource` re-streams the capture
+file pass by pass, so peak RSS must stay flat as ``repeat`` scales the
+replayed packet count (the multi-GB-capture story: memory is O(chunk +
+flows), never O(capture)), while ``materialize()`` of the same source
+grows with it.
+
 ``REPRO_BENCH_QUICK=1`` shrinks the packet counts (CI's bench-smoke
 job); the full run simulates 2M packets per mode.
 """
@@ -33,6 +40,8 @@ from pathlib import Path
 _QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 # (small, large) simulated packet targets per mode
 _SIZES = (75_000, 300_000) if _QUICK else (500_000, 2_000_000)
+# (small, large) replayed packet targets (repeat scales the passes)
+_REPLAY_SIZES = (50_000, 400_000) if _QUICK else (250_000, 2_000_000)
 #: streamed growth allowance small→large, and the fixed headroom over
 #: the interpreter baseline a streamed large run must stay within
 _FLAT_MB = 48.0
@@ -63,7 +72,22 @@ from repro.sim.system import simulate
 from repro.sim.workload import build_workload
 from repro.trace.synthetic import preset_trace
 
-if mode != "baseline":
+if mode.startswith("replay"):
+    from repro.workloads.registry import BUNDLED_PCAP
+    from repro.workloads.replay import PcapReplaySource
+
+    probe = PcapReplaySource(BUNDLED_PCAP, chunk_size=1)
+    repeat = max(1, -(-n_packets // probe.num_packets))
+    source = PcapReplaySource(BUNDLED_PCAP, repeat=repeat, speedup=0.25)
+    workload = source if mode == "replay-streamed" else source.materialize()
+    config = SimConfig(
+        num_cores=16,
+        services=ServiceSet([Service(0, "ip-forward", units.us(1))]),
+        collect_latencies=False,
+    )
+    report = simulate(workload, StaticHashScheduler(), config)
+    assert report.generated == source.num_packets, report.generated
+elif mode != "baseline":
     rate = 2e7  # offered pps; 16 us-cores give ~1.6e7 -> mild overload
     duration = max(1, int(round(n_packets / rate * units.SEC)))
     trace = preset_trace("caida-1", num_packets=20_000)
@@ -123,4 +147,32 @@ def test_streamed_rss_stays_flat_while_materialized_grows():
     assert materialized[large] - materialized[small] > expected_growth_mb / 2
 
     # at the large size the streamed run is the cheaper one
+    assert streamed[large] < materialized[large]
+
+
+def test_replay_rss_stays_flat_as_repeat_scales():
+    """Pcap replay is O(chunk + flows): repeating the capture 8x must
+    not move the streamed high-watermark, while materializing the same
+    source grows with the replayed packet count."""
+    small, large = _REPLAY_SIZES
+    baseline = _peak_rss_mb("baseline")
+    streamed = {n: _peak_rss_mb("replay-streamed", n) for n in (small, large)}
+    materialized = {n: _peak_rss_mb("replay-materialized", n)
+                    for n in (small, large)}
+    print(
+        f"\n[rss MiB] baseline={baseline:.1f}  "
+        f"replay-streamed {small}={streamed[small]:.1f} "
+        f"{large}={streamed[large]:.1f}  "
+        f"replay-materialized {small}={materialized[small]:.1f} "
+        f"{large}={materialized[large]:.1f}"
+    )
+
+    # streamed replay stays flat as repeat scales the packet count 8x
+    assert streamed[large] - streamed[small] < _FLAT_MB
+    assert streamed[large] < baseline + _CEILING_MB
+
+    # materializing the replay scales with the packet count
+    expected_growth_mb = (large - small) * 40 / (1024 * 1024)
+    assert materialized[large] - materialized[small] > expected_growth_mb / 2
+
     assert streamed[large] < materialized[large]

@@ -106,6 +106,15 @@ from repro.obs import (
     profile_run,
     write_run,
 )
+from repro.workloads import (
+    DiurnalParams,
+    MMPPParams,
+    PcapReplaySource,
+    SizeDistribution,
+    make_workload,
+    resolve_trace,
+    workload_preset_names,
+)
 
 __version__ = "1.0.0"
 
@@ -139,5 +148,8 @@ __all__ = [
     "build_workload", "restoration_cost", "simulate",
     # obs (telemetry)
     "RunManifest", "TelemetryProbe", "load_run", "profile_run", "write_run",
+    # workloads (internet-scale library)
+    "SizeDistribution", "MMPPParams", "DiurnalParams", "PcapReplaySource",
+    "make_workload", "resolve_trace", "workload_preset_names",
     "__version__",
 ]

@@ -13,7 +13,16 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments import ablations, fig2, fig7, fig8, fig9, timing, tournament
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig7,
+    fig8,
+    fig9,
+    timing,
+    tournament,
+    workloads,
+)
 from repro.faults import harness as faults_harness
 from repro.sim.source import DEFAULT_CHUNK_SIZE
 
@@ -33,6 +42,8 @@ _EXPERIMENTS = {
         faults_harness.run(quick=quick, jobs=jobs)],
     "tournament": lambda quick, jobs, **_: tournament.run(
         quick=quick, jobs=jobs),
+    "workloads": lambda quick, jobs, **st: [
+        workloads.run(quick=quick, jobs=jobs, **st)],
 }
 
 

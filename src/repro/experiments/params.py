@@ -62,6 +62,11 @@ TRACE_GROUPS: dict[str, tuple[str, str, str, str]] = {
     "G2": ("caida-5", "caida-6", "caida-2", "caida-3"),
     "G3": ("auck-1", "auck-2", "auck-3", "auck-4"),
     "G4": ("auck-5", "auck-6", "auck-7", "auck-8"),
+    # Beyond the paper: internet-scale CDF flow-size mixes from
+    # repro.workloads (heavy-tailed web-search / data-mining / bimodal
+    # cache-vs-mice shapes), resolvable by any harness that routes
+    # trace names through repro.workloads.traces.resolve_trace.
+    "W1": ("websearch-1", "websearch-2", "datamining-1", "cachemice-1"),
 }
 
 

@@ -13,8 +13,8 @@ from repro.sim.config import SimConfig
 from repro.sim.source import DEFAULT_CHUNK_SIZE, PacketSource, StreamingSource
 from repro.sim.workload import Workload, build_workload
 from repro.trace.models import TRIMODAL_INTERNET_SIZES
-from repro.trace.synthetic import preset_trace
 from repro.util.tables import format_table
+from repro.workloads.traces import resolve_trace
 
 __all__ = ["ExperimentResult", "scenario_workload", "scenario_config"]
 
@@ -145,7 +145,7 @@ def scenario_workload(
     resident at a time) producing the bit-identical packet sequence.
     """
     services = services or default_services()
-    traces = [preset_trace(n, num_packets=trace_packets) for n in scenario.trace_names]
+    traces = [resolve_trace(n, num_packets=trace_packets) for n in scenario.trace_names]
     mean_size = TRIMODAL_INTERNET_SIZES.mean
     per_service = num_cores // len(services)
     capacities = [

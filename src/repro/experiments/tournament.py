@@ -53,7 +53,7 @@ from repro.sim.config import SimConfig
 from repro.sim.generator import HoltWintersParams
 from repro.sim.metrics import SimReport
 from repro.sim.workload import Workload, build_workload
-from repro.trace.synthetic import preset_trace
+from repro.workloads.traces import resolve_trace
 
 __all__ = [
     "SCORECARD_SCHEMA",
@@ -143,7 +143,7 @@ def _zoo_workload(
     the identical arrival stream."""
     services = default_services()
     traces = [
-        preset_trace(name, num_packets=trace_packets)
+        resolve_trace(name, num_packets=trace_packets)
         for name in TRACE_GROUPS[group]
     ]
     per_service_cores = NUM_CORES // len(services)
@@ -241,7 +241,8 @@ def run_tournament(
 ) -> dict[str, Any]:
     """Race the field and return the ``repro.tournament/1`` payload."""
     if quick:
-        groups = groups[:1]
+        if groups == DEFAULT_GROUPS:  # keep explicit --scenarios intact
+            groups = groups[:1]
         utilisations = utilisations[:1]
         seeds = seeds[:1]
     if duration_ns is None:

@@ -1,0 +1,171 @@
+"""Workload sweep — every registry preset under the core schedulers.
+
+Not a figure from the paper: the paper evaluates on two synthetic
+header traces, and this harness asks how its conclusions travel to
+internet-scale workload shapes — heavy-tailed CDF flow sizes, MMPP
+burst trains, diurnal flash crowds and real-capture replay — all drawn
+from :mod:`repro.workloads.registry` by name.  One row per
+(workload preset x scheduler) at a fixed nominal utilisation, so the
+drop/reorder ordering can be compared across workload families.
+
+Runs go through :func:`repro.experiments.batch.run_batch`: the
+schedulers of one preset share a single workload build, and ``jobs``
+spreads presets over a process pool.  With ``stream=True`` each group
+builds the preset as a chunked source instead (bit-identical rows,
+bounded memory) — including the pcap replay preset, which is streaming
+at heart and only materialized on demand.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.laps import LAPSConfig, LAPSScheduler
+from repro.experiments.batch import RunSpec, WorkloadSpec, run_batch
+from repro.experiments.runner import ExperimentResult
+from repro.net.service import Service, ServiceSet, default_services
+from repro.schedulers.afs import AFSScheduler
+from repro.schedulers.base import Scheduler, make_scheduler
+from repro.sim.config import SimConfig
+from repro.workloads.registry import (
+    WORKLOAD_PRESETS,
+    registry_workload,
+    workload_preset_names,
+)
+
+__all__ = ["SCHEDULERS", "run"]
+
+#: The comparison set: the paper's service-oblivious baseline, the
+#: adaptive baseline, and the paper's scheduler.
+SCHEDULERS = ("hash-static", "afs", "laps")
+
+
+def _preset_services(name: str) -> ServiceSet:
+    """Replay presets carry a single flat service; everything else uses
+    the four-service edge router the registry calibrates against."""
+    if WORKLOAD_PRESETS.get(name, None) is not None and \
+            WORKLOAD_PRESETS[name].kind == "replay":
+        return ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    return default_services()
+
+
+def _preset_config(name: str, num_cores: int) -> SimConfig:
+    """Config factory for :class:`RunSpec` (module-level, picklable)."""
+    return SimConfig(
+        num_cores=num_cores,
+        services=_preset_services(name),
+        collect_latencies=True,
+    )
+
+
+def _make_scheduler(name: str, num_services: int, seed: int) -> Scheduler:
+    """Scheduler factory for :class:`RunSpec`."""
+    if name == "laps":
+        return LAPSScheduler(LAPSConfig(num_services=num_services), rng=seed)
+    if name == "afs":
+        return AFSScheduler(cooldown_ns=units.us(100))
+    return make_scheduler(name)
+
+
+def run(
+    quick: bool = False,
+    presets: tuple[str, ...] | None = None,
+    seed: int = 0,
+    utilisation: float = 0.9,
+    duration_ns: int | None = None,
+    trace_packets: int | None = None,
+    num_cores: int = 16,
+    jobs: int = 1,
+    stream: bool = False,
+    chunk_size: int | None = None,
+) -> ExperimentResult:
+    """All registry presets x :data:`SCHEDULERS`, one row each."""
+    names = presets or tuple(workload_preset_names())
+    if duration_ns is None:
+        duration_ns = units.ms(4) if quick else units.ms(12)
+    if trace_packets is None:
+        trace_packets = 6_000 if quick else 24_000
+    result = ExperimentResult(
+        "Workload sweep - registry presets under the core schedulers",
+        columns=[
+            "workload", "scheduler", "offered",
+            "dropped", "drop_frac",
+            "ooo", "ooo_frac",
+            "cold_cache_frac", "flow_migrations", "p99_us",
+        ],
+        meta={
+            "quick": quick, "seed": seed, "utilisation": utilisation,
+            "duration_ms": duration_ns / units.MS,
+            "trace_packets": trace_packets, "stream": stream,
+        },
+    )
+    specs = []
+    for wname in names:
+        wspec = WorkloadSpec.of(
+            registry_workload,
+            name=wname,
+            num_cores=num_cores,
+            utilisation=utilisation,
+            duration_ns=duration_ns,
+            trace_packets=trace_packets,
+            seed=seed,
+            stream=stream,
+            chunk_size=chunk_size,
+        )
+        num_services = len(_preset_services(wname))
+        for sched_name in SCHEDULERS:
+            specs.append(RunSpec(
+                workload=wspec,
+                scheduler_fn=_make_scheduler,
+                scheduler_kwargs={
+                    "name": sched_name,
+                    "num_services": num_services,
+                    "seed": seed + 1,
+                },
+                config_fn=_preset_config,
+                config_kwargs={"name": wname, "num_cores": num_cores},
+                label={"workload": wname, "scheduler": sched_name},
+            ))
+    for run_ in run_batch(specs, jobs=jobs):
+        rep = run_.report
+        result.add(
+            **run_.label,
+            offered=rep.generated,
+            dropped=rep.dropped,
+            drop_frac=round(rep.drop_fraction, 4),
+            ooo=rep.out_of_order,
+            ooo_frac=round(rep.ooo_fraction, 5),
+            cold_cache_frac=round(rep.cold_cache_fraction, 4),
+            flow_migrations=rep.flow_migration_events,
+            p99_us=round(rep.latency_ns["p99"] / 1e3, 1),
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.workloads", description=__doc__,
+    )
+    parser.add_argument("presets", nargs="*", default=None,
+                        help="preset names (default: all)")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--utilisation", type=float, default=0.9)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--stream", action="store_true")
+    args = parser.parse_args(argv)
+    result = run(
+        quick=args.quick,
+        presets=tuple(args.presets) or None,
+        seed=args.seed,
+        utilisation=args.utilisation,
+        jobs=args.jobs,
+        stream=args.stream,
+    )
+    print(result.format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

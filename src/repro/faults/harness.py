@@ -52,8 +52,8 @@ from repro.sim.generator import HoltWintersParams
 from repro.sim.metrics import SimReport
 from repro.sim.system import simulate
 from repro.sim.workload import Workload, build_workload
-from repro.trace.synthetic import preset_trace
 from repro.util.parallel import parallel_map
+from repro.workloads.traces import resolve_trace
 
 __all__ = [
     "FaultScenario",
@@ -152,17 +152,24 @@ def fault_workload(
     trace_packets: int = 60_000,
     seed: int = 0,
     num_cores: int = NUM_CORES,
+    trace_names: tuple[str, ...] | None = None,
 ) -> Workload:
     """A steady 4-service workload at *utilisation* of ideal capacity.
 
     Steady (flat Holt-Winters level, no trend/season) on purpose: fault
     recovery is detected as "drop rate back at baseline", which wants a
     flat baseline rather than the Table IV seasonal shapes.
+
+    ``trace_names`` swaps the default header mix for any presets
+    :func:`repro.workloads.traces.resolve_trace` knows — e.g. the
+    heavy-tailed CDF presets — to stress recovery under other size
+    distributions.
     """
     services = default_services()
+    names = trace_names or _SERVICE_TRACES
     traces = [
-        preset_trace(name, num_packets=trace_packets)
-        for name in _SERVICE_TRACES[: len(services)]
+        resolve_trace(name, num_packets=trace_packets)
+        for name in names[: len(services)]
     ]
     per_service_cores = num_cores // len(services)
     params = []
@@ -182,6 +189,7 @@ def run_scenario(
     trace_packets: int | None = None,
     schedulers: tuple[str, ...] = SCHEDULER_NAMES,
     probe_period_ns: int | None = None,
+    trace_names: tuple[str, ...] | None = None,
 ) -> dict[str, tuple[SimReport, ResilienceSummary]]:
     """One scenario under each scheduler; returns per-scheduler
     ``(report, resilience)`` keyed by scheduler name."""
@@ -196,6 +204,7 @@ def run_scenario(
         fault_workload(
             scenario.utilisation, duration_ns,
             trace_packets=trace_packets, seed=seed,
+            trace_names=trace_names,
         ),
         schedule,
     )
@@ -218,10 +227,11 @@ def run_scenario(
 
 def _scenario_task(args: tuple) -> list[dict]:
     """One scenario's table rows (module-level for pickling)."""
-    sname, quick, seed, duration_ns, trace_packets = args
+    sname, quick, seed, duration_ns, trace_packets, trace_names = args
     results = run_scenario(
         FAULT_SCENARIOS[sname], quick=quick, seed=seed,
         duration_ns=duration_ns, trace_packets=trace_packets,
+        trace_names=trace_names,
     )
     rows = []
     for sched_name, (rep, res) in results.items():
@@ -249,13 +259,18 @@ def run(
     duration_ns: int | None = None,
     trace_packets: int | None = None,
     jobs: int = 1,
+    trace_names: tuple[str, ...] | None = None,
 ) -> ExperimentResult:
     """F1-F4 x {FCFS, AFS, LAPS}: the resilience comparison table.
 
     ``jobs`` parallelises across scenarios (0 = auto), exactly like the
-    figure harnesses.
+    figure harnesses.  ``trace_names`` swaps the per-service header mix
+    (any :func:`~repro.workloads.traces.resolve_trace` presets).
     """
     names = scenarios or tuple(FAULT_SCENARIOS)
+    meta = {"quick": quick, "seed": seed}
+    if trace_names is not None:
+        meta["traces"] = ",".join(trace_names)
     result = ExperimentResult(
         "Faults F1-F4 - scheduler degradation and recovery",
         columns=[
@@ -264,9 +279,10 @@ def run(
             "ooo", "post_ooo",
             "remapped", "recovered", "recover_ms",
         ],
-        meta={"quick": quick, "seed": seed},
+        meta=meta,
     )
-    tasks = [(sname, quick, seed, duration_ns, trace_packets) for sname in names]
+    tasks = [(sname, quick, seed, duration_ns, trace_packets, trace_names)
+             for sname in names]
     for rows in parallel_map(_scenario_task, tasks, jobs=jobs):
         for row in rows:
             result.add(**row)

@@ -40,9 +40,11 @@ from repro.sim.system import simulate
 from repro.sim.workload import build_workload
 from repro.trace.models import TRIMODAL_INTERNET_SIZES
 from repro.trace.pcap import trace_from_pcap
-from repro.trace.synthetic import PRESETS, preset_trace
+from repro.trace.synthetic import PRESETS
 from repro.trace.trace import Trace
 from repro.util.tables import format_table
+from repro.workloads.registry import make_workload, workload_preset_names
+from repro.workloads.traces import CDF_TRACE_PRESETS, resolve_trace
 
 __all__ = ["main"]
 
@@ -61,12 +63,49 @@ def _load_trace(args) -> Trace:
         print(f"[pcap] {counters['total']} frames, "
               f"{trace.num_packets} usable packets")
         return trace
-    if args.trace in PRESETS:
-        return preset_trace(args.trace, num_packets=args.packets)
+    if args.trace in PRESETS or args.trace in CDF_TRACE_PRESETS:
+        return resolve_trace(args.trace, num_packets=args.packets)
     return Trace.load_npz(args.trace)
 
 
+def _registry_workload(args):
+    """Build a named registry workload (``--workload``); returns
+    (workload, services, num_services, mode label)."""
+    duration = units.ms(args.duration_ms)
+    workload = make_workload(
+        args.workload,
+        num_cores=args.cores,
+        utilisation=args.utilisation,
+        duration_ns=duration,
+        trace_packets=args.packets,
+        seed=args.seed,
+        stream=args.stream,
+        chunk_size=args.chunk_size,
+    )
+    if workload.num_services == len(default_services()):
+        services = default_services()
+    else:  # pcap replay presets are single-service
+        services = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    mode = (f"streamed in {args.chunk_size}-packet chunks"
+            if args.stream else "materialized")
+    return workload, services, workload.num_services, mode
+
+
 def _cmd_compare(args) -> int:
+    if args.workload:
+        workload, services, num_services, mode = _registry_workload(args)
+        trace_label = args.workload
+        duration = units.ms(args.duration_ms)
+        config = SimConfig(num_cores=args.cores, services=services,
+                           queue_capacity=args.queue_depth,
+                           collect_latencies=True)
+        print(f"[workload] preset {args.workload!r}: "
+              f"{workload.num_packets} packets over "
+              f"{workload.duration_ns / 1e6:.1f} ms on {args.cores} cores "
+              f"(target utilisation {args.utilisation:.2f}, {mode})\n")
+        return _run_comparison(args, workload, config, num_services,
+                               duration, trace_label)
+
     trace = _load_trace(args)
     duration = units.ms(args.duration_ms)
     mean_size = float(trace.size_bytes.mean()) if trace.num_packets else \
@@ -107,7 +146,12 @@ def _cmd_compare(args) -> int:
     print(f"[workload] {workload.num_packets} packets over "
           f"{args.duration_ms} ms on {args.cores} cores "
           f"(target utilisation {args.utilisation:.2f}, {mode})\n")
+    return _run_comparison(args, workload, config, num_services, duration,
+                           getattr(trace, "name", None))
 
+
+def _run_comparison(args, workload, config, num_services, duration,
+                    trace_label) -> int:
     schedule = None
     if args.faults:
         from repro.faults import (
@@ -143,7 +187,7 @@ def _cmd_compare(args) -> int:
                 config=config,
                 seed=args.seed,
                 scheduler=name,
-                trace=getattr(trace, "name", None),
+                trace=trace_label,
                 utilisation=args.utilisation,
                 duration_ms=args.duration_ms,
                 probe_period_us=args.probe_period_us,
@@ -193,8 +237,14 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p = sub.add_parser("compare", help="run schedulers on one workload")
     src = cmp_p.add_mutually_exclusive_group()
     src.add_argument("--trace", default="caida-1",
-                     help="preset name or trace .npz path")
+                     help="trace preset name (synthetic or CDF) or .npz path")
     src.add_argument("--pcap", type=Path, help="a pcap(.gz) capture")
+    src.add_argument(
+        "--workload", metavar="NAME", default=None,
+        help="named workload preset from the registry "
+             f"({', '.join(workload_preset_names())}) or pcap:<path>; "
+             "see docs/workloads.md",
+    )
     cmp_p.add_argument("--packets", type=int, default=100_000,
                        help="packets when generating a preset")
     cmp_p.add_argument("--cores", type=int, default=16)

@@ -28,7 +28,10 @@ from repro import units
 from repro.errors import ConfigError
 from repro.util.rng import make_rng
 
-__all__ = ["HoltWintersParams", "HoltWinters", "ArrivalStream", "arrival_times"]
+__all__ = [
+    "HoltWintersParams", "HoltWinters", "ArrivalStream", "arrival_times",
+    "build_rate_model",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,39 @@ class HoltWinters:
         t = np.linspace(0.0, duration_s, samples, endpoint=False)
         return float(self.mean_rate_batch(t).mean())
 
+    def segment_hint_s(self) -> float:
+        """Characteristic time scale of the rate process, in seconds.
+
+        :class:`ArrivalStream` discretises at 1/50 of this (bounded to
+        [100 us, 10 ms]) so the rate shape is well resolved.  For the
+        eq. (1) model the scale is the seasonal period ``m``.
+        """
+        return self.params.m
+
+
+def build_rate_model(params):
+    """Build the rate-model evaluator for a per-service params object.
+
+    :class:`HoltWintersParams` maps to :class:`HoltWinters` (the
+    historical behaviour); any other params type must expose a
+    ``build()`` method returning an evaluator with the same protocol
+    (``sample_rates``, ``mean_rate_batch``, ``average_rate``,
+    ``segment_hint_s``) — see :mod:`repro.workloads.arrivals` for the
+    MMPP and diurnal models.  Both :func:`repro.sim.workload.build_workload`
+    and :class:`repro.sim.source.StreamingSource` route through this
+    dispatcher, which is what keeps streamed and materialized
+    generation bit-identical for every model family.
+    """
+    if isinstance(params, HoltWintersParams):
+        return HoltWinters(params)
+    build = getattr(params, "build", None)
+    if callable(build):
+        return build()
+    raise ConfigError(
+        f"unsupported rate params type {type(params).__name__}: expected "
+        "HoltWintersParams or an object with a build() method"
+    )
+
 
 class ArrivalStream:
     """Incremental realisation of one service's arrival process.
@@ -144,8 +180,9 @@ class ArrivalStream:
             raise ConfigError(f"duration must be positive, got {duration_ns}")
         rng = make_rng(rng)
         if segment_ns is None:
+            hint_s = float(model.segment_hint_s())
             segment_ns = min(
-                units.ms(10), max(units.us(100), int(model.params.m * units.SEC / 50))
+                units.ms(10), max(units.us(100), int(hint_s * units.SEC / 50))
             )
         n_segments = (duration_ns + segment_ns - 1) // segment_ns
         starts_ns = np.arange(n_segments, dtype=np.int64) * segment_ns

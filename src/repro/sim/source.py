@@ -49,7 +49,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.hashing.crc import CRC16_CCITT, CRCSpec
-from repro.sim.generator import ArrivalStream, HoltWinters, HoltWintersParams
+from repro.sim.generator import ArrivalStream, HoltWintersParams, build_rate_model
 from repro.sim.workload import Workload, service_flow_hashes
 from repro.trace.trace import Trace
 from repro.util.rng import spawn_rngs
@@ -429,7 +429,7 @@ class StreamingSource(PacketSource):
     def _reset(self) -> None:
         rngs = spawn_rngs(self.seed, self.num_services)
         self._streams = [
-            ArrivalStream(HoltWinters(p), self.duration_ns, rng)
+            ArrivalStream(build_rate_model(p), self.duration_ns, rng)
             for p, rng in zip(self.params, rngs)
         ]
         self._cursors = [t.header_cursor() for t in self.traces]

@@ -22,7 +22,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.hashing.crc import CRC16_CCITT, CRCSpec
 from repro.hashing.five_tuple import flow_hash_batch
-from repro.sim.generator import HoltWinters, HoltWintersParams, arrival_times
+from repro.sim.generator import HoltWintersParams, arrival_times, build_rate_model
 from repro.trace.trace import Trace
 from repro.util.rng import spawn_rngs
 
@@ -171,7 +171,7 @@ def build_workload(
     for sid, (trace, p, rng) in enumerate(zip(traces, params, rngs)):
         if trace.num_packets == 0:
             raise ConfigError(f"service {sid} has an empty trace")
-        times = arrival_times(HoltWinters(p), duration_ns, rng)
+        times = arrival_times(build_rate_model(p), duration_ns, rng)
         k = times.shape[0]
         idx = trace.header_cursor().take(k)
         local_fids = trace.flow_id[idx]

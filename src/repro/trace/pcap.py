@@ -21,12 +21,16 @@ import io
 import struct
 from dataclasses import dataclass
 from pathlib import Path
+from typing import BinaryIO, Iterator
 
 from repro.errors import TraceFormatError
 from repro.hashing.five_tuple import FiveTuple
 from repro.trace.trace import Trace
 
-__all__ = ["PcapPacket", "read_pcap", "write_pcap", "trace_from_pcap"]
+__all__ = [
+    "PcapPacket", "read_pcap", "write_pcap", "trace_from_pcap",
+    "iter_pcap", "parse_pcap_stream", "new_counters",
+]
 
 MAGIC_US_BE = 0xA1B2C3D4
 MAGIC_NS_BE = 0xA1B23C4D
@@ -53,24 +57,37 @@ def _open(path: str | Path, mode: str):
     return open(path, mode)
 
 
-def read_pcap(path: str | Path) -> tuple[list[PcapPacket], dict[str, int]]:
-    """Parse a pcap(.gz) file.
+def new_counters() -> dict[str, int]:
+    """A fresh skip-counter dict as populated by the parse functions."""
+    return {
+        "total": 0,
+        "ipv4": 0,
+        "tcp_udp": 0,
+        "skipped_non_ip": 0,
+        "skipped_fragment": 0,
+        "skipped_short": 0,
+    }
 
-    Returns the packet list (every record, including non-IP ones with
-    ``key=None``) and a counters dict: ``total``, ``ipv4``, ``tcp_udp``,
-    ``skipped_non_ip``, ``skipped_fragment``, ``skipped_short``.
+
+def parse_pcap_stream(
+    fh: BinaryIO, counters: dict[str, int] | None = None
+) -> Iterator[PcapPacket]:
+    """Stream records from an open pcap file object, one at a time.
+
+    This is the O(record) core: only the 24-byte global header plus one
+    record are ever held in memory, so multi-GB captures can be replayed
+    without materialisation.  Yields every record (non-IP ones carry
+    ``key=None``); *counters* — a dict from :func:`new_counters` — is
+    updated in place as records are consumed, so totals are valid both
+    mid-stream and at exhaustion.
     """
-    with _open(path, "rb") as fh:
-        data = fh.read()
-    return parse_pcap_bytes(data)
-
-
-def parse_pcap_bytes(data: bytes) -> tuple[list[PcapPacket], dict[str, int]]:
-    """Parse in-memory pcap bytes; see :func:`read_pcap`."""
-    if len(data) < 24:
+    if counters is None:
+        counters = new_counters()
+    header = fh.read(24)
+    if len(header) < 24:
         raise TraceFormatError("pcap too short for a global header")
-    magic_be = struct.unpack(">I", data[:4])[0]
-    magic_le = struct.unpack("<I", data[:4])[0]
+    magic_be = struct.unpack(">I", header[:4])[0]
+    magic_le = struct.unpack("<I", header[:4])[0]
     if magic_be in (MAGIC_US_BE, MAGIC_NS_BE):
         endian = ">"
         magic = magic_be
@@ -82,7 +99,7 @@ def parse_pcap_bytes(data: bytes) -> tuple[list[PcapPacket], dict[str, int]]:
     ts_scale = 1 if magic == MAGIC_NS_BE else 1000  # subsecond field -> ns
 
     (_vmaj, _vmin, _tz, _sig, snaplen, linktype) = struct.unpack(
-        endian + "HHiIII", data[4:24]
+        endian + "HHiIII", header[4:24]
     )[:6]
     if linktype not in (LINKTYPE_ETHERNET, LINKTYPE_RAW):
         raise TraceFormatError(f"unsupported linktype {linktype}")
@@ -90,30 +107,49 @@ def parse_pcap_bytes(data: bytes) -> tuple[list[PcapPacket], dict[str, int]]:
         raise TraceFormatError("snaplen of 0 is invalid")
 
     rec_hdr = struct.Struct(endian + "IIII")
-    packets: list[PcapPacket] = []
-    counters = {
-        "total": 0,
-        "ipv4": 0,
-        "tcp_udp": 0,
-        "skipped_non_ip": 0,
-        "skipped_fragment": 0,
-        "skipped_short": 0,
-    }
-    offset = 24
-    n = len(data)
-    while offset < n:
-        if offset + 16 > n:
+    while True:
+        hdr = fh.read(16)
+        if not hdr:
+            return
+        if len(hdr) < 16:
             raise TraceFormatError("truncated record header")
-        ts_sec, ts_sub, incl_len, orig_len = rec_hdr.unpack_from(data, offset)
-        offset += 16
-        if offset + incl_len > n:
+        ts_sec, ts_sub, incl_len, orig_len = rec_hdr.unpack(hdr)
+        frame = fh.read(incl_len)
+        if len(frame) < incl_len:
             raise TraceFormatError("truncated record body")
-        frame = data[offset : offset + incl_len]
-        offset += incl_len
         counters["total"] += 1
         ts_ns = ts_sec * 1_000_000_000 + ts_sub * ts_scale
         key = _parse_frame(frame, linktype, counters)
-        packets.append(PcapPacket(ts_ns=ts_ns, wire_len=orig_len, key=key))
+        yield PcapPacket(ts_ns=ts_ns, wire_len=orig_len, key=key)
+
+
+def iter_pcap(
+    path: str | Path, counters: dict[str, int] | None = None
+) -> Iterator[PcapPacket]:
+    """Stream records from a pcap(.gz) file path; see
+    :func:`parse_pcap_stream`.  The file is closed when the generator
+    is exhausted or dropped."""
+    with _open(path, "rb") as fh:
+        yield from parse_pcap_stream(fh, counters)
+
+
+def read_pcap(path: str | Path) -> tuple[list[PcapPacket], dict[str, int]]:
+    """Parse a pcap(.gz) file (materialising wrapper over
+    :func:`iter_pcap`).
+
+    Returns the packet list (every record, including non-IP ones with
+    ``key=None``) and a counters dict: ``total``, ``ipv4``, ``tcp_udp``,
+    ``skipped_non_ip``, ``skipped_fragment``, ``skipped_short``.
+    """
+    counters = new_counters()
+    packets = list(iter_pcap(path, counters))
+    return packets, counters
+
+
+def parse_pcap_bytes(data: bytes) -> tuple[list[PcapPacket], dict[str, int]]:
+    """Parse in-memory pcap bytes; see :func:`read_pcap`."""
+    counters = new_counters()
+    packets = list(parse_pcap_stream(io.BytesIO(data), counters))
     return packets, counters
 
 
@@ -206,12 +242,13 @@ def trace_from_pcap(path: str | Path, name: str = "") -> tuple[Trace, dict[str, 
 
     Native gaps are derived from capture timestamps (first packet at its
     offset from itself, i.e. gap 0).  Returns the trace and the skip
-    counters from :func:`read_pcap`.
+    counters from :func:`read_pcap`.  Records are consumed through the
+    streaming reader, so only the usable rows are ever materialised.
     """
-    packets, counters = read_pcap(path)
+    counters = new_counters()
     rows: list[tuple[FiveTuple, int, int]] = []
     prev_ts: int | None = None
-    for p in packets:
+    for p in iter_pcap(path, counters):
         if p.key is None:
             continue
         gap = 0 if prev_ts is None else max(0, p.ts_ns - prev_ts)

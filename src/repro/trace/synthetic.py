@@ -265,7 +265,16 @@ def generate_trace(config: SyntheticTraceConfig, name: str = "") -> Trace:
 
 
 def _preset_seed(name: str) -> int:
-    """Stable per-preset seed derived from the preset name."""
+    """Stable per-preset seed derived from the preset name.
+
+    Deliberately CRC32, never ``hash()``: the builtin string hash is
+    salted per interpreter run (PYTHONHASHSEED) and differs across
+    Python versions, which would silently change every preset trace.
+    CRC32 of the UTF-8 name is identical everywhere; the resulting
+    trace content is pinned by the golden-fingerprint test in
+    ``tests/trace/test_golden_fingerprints.py`` — if this derivation
+    (or the generator's draw order) changes, that test fails loudly.
+    """
     return zlib.crc32(name.encode()) & 0x7FFFFFFF
 
 

@@ -160,6 +160,24 @@ class Trace:
     def total_bytes(self) -> int:
         return int(self.size_bytes.sum(dtype=np.int64))
 
+    def fingerprint(self) -> str:
+        """Content hash of every packet and flow column.
+
+        Columns are cast to fixed-width little-endian dtypes before
+        hashing, so the digest is stable across platforms and Python /
+        numpy versions — it is what the golden preset-fingerprint tests
+        pin (the trace *name* is deliberately excluded: two identically
+        shaped traces match regardless of labelling).
+        """
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        for col in _PACKET_COLS + _FLOW_COLS:
+            arr = np.ascontiguousarray(getattr(self, col), dtype=np.dtype("<i8"))
+            h.update(col.encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
     def five_tuple(self, flow_id: int) -> FiveTuple:
         """The 5-tuple of a flow id."""
         if not 0 <= flow_id < self.num_flows:

@@ -1,0 +1,60 @@
+"""Internet-scale workload library.
+
+Opens the scenario space beyond the paper's two synthetic presets:
+
+* :mod:`repro.workloads.sizes` — CDF-driven flow-size distributions
+  (websearch / datamining / cache-vs-mice, loadable from CSV);
+* :mod:`repro.workloads.traces` — CDF trace presets and the unified
+  :func:`~repro.workloads.traces.resolve_trace` lookup;
+* :mod:`repro.workloads.arrivals` — MMPP burst trains and diurnal
+  profiles with flash-crowd events, plugging into the same
+  inhomogeneous-Poisson machinery as the paper's eq. (1) model;
+* :mod:`repro.workloads.replay` — streaming pcap replay at O(chunk)
+  memory (:class:`~repro.workloads.replay.PcapReplaySource`);
+* :mod:`repro.workloads.registry` — named presets runnable from every
+  harness (``repro-workloads list`` shows the catalog).
+"""
+
+from repro.workloads.arrivals import (
+    MMPP,
+    DiurnalParams,
+    DiurnalRate,
+    FlashCrowd,
+    MMPPParams,
+)
+from repro.workloads.registry import (
+    BUNDLED_PCAP,
+    WORKLOAD_PRESETS,
+    WorkloadPreset,
+    catalog,
+    make_workload,
+    registry_workload,
+    workload_preset_names,
+)
+from repro.workloads.replay import PcapReplaySource
+from repro.workloads.sizes import (
+    CACHE_MICE,
+    DATAMINING,
+    SIZE_DISTRIBUTIONS,
+    WEBSEARCH,
+    SizeDistribution,
+)
+from repro.workloads.traces import (
+    CDF_TRACE_PRESETS,
+    CDFTraceConfig,
+    cdf_preset_trace,
+    generate_cdf_trace,
+    resolve_trace,
+    trace_preset_names,
+)
+
+__all__ = [
+    "SizeDistribution", "SIZE_DISTRIBUTIONS",
+    "WEBSEARCH", "DATAMINING", "CACHE_MICE",
+    "CDFTraceConfig", "generate_cdf_trace", "CDF_TRACE_PRESETS",
+    "cdf_preset_trace", "resolve_trace", "trace_preset_names",
+    "MMPPParams", "MMPP", "FlashCrowd", "DiurnalParams", "DiurnalRate",
+    "PcapReplaySource",
+    "WorkloadPreset", "WORKLOAD_PRESETS", "workload_preset_names",
+    "make_workload", "registry_workload", "catalog", "BUNDLED_PCAP",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.workloads`` entry point."""
+
+from repro.workloads.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,317 @@
+"""The named-workload registry: every scenario can name any workload.
+
+A :class:`WorkloadPreset` couples four trace presets (one per default
+service) with a rate-model family and a short provenance note.  The
+registry is the single workload lookup shared by the sim CLI
+(``--workload``), the experiments harnesses, the faults harness and the
+tournament — :func:`make_workload` builds any preset either
+materialized (:class:`~repro.sim.workload.Workload`) or streamed
+(:class:`~repro.sim.source.StreamingSource` /
+:class:`~repro.workloads.replay.PcapReplaySource`), with identical
+packet sequences either way.
+
+Offered load is calibrated exactly like the tournament grid: each
+service's rate model is scaled so its *time-average* rate equals
+``utilisation`` times the service's ideal capacity share, so presets
+with wildly different shapes (steady, MMPP burst trains, diurnal flash
+crowds) are comparable at the same nominal utilisation.
+
+Beyond the named presets, ``pcap:<path>`` resolves any capture on disk
+to a :class:`PcapReplaySource` (recorded gaps; ``utilisation`` does not
+apply), and the bundled ``replay-tiny`` preset replays a small
+committed capture — the CI smoke path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro import units
+from repro.errors import ConfigError
+from repro.net.service import default_services
+from repro.sim.generator import HoltWintersParams, build_rate_model
+from repro.sim.source import DEFAULT_CHUNK_SIZE, PacketSource, StreamingSource
+from repro.sim.workload import Workload, build_workload
+from repro.workloads.arrivals import DiurnalParams, FlashCrowd, MMPPParams
+from repro.workloads.replay import PcapReplaySource
+from repro.workloads.traces import resolve_trace
+
+__all__ = [
+    "WorkloadPreset",
+    "WORKLOAD_PRESETS",
+    "workload_preset_names",
+    "make_workload",
+    "registry_workload",
+    "catalog",
+    "BUNDLED_PCAP",
+]
+
+#: The small committed capture used by ``replay-tiny`` and CI smoke.
+BUNDLED_PCAP = Path(__file__).parent / "data" / "tiny.pcap.gz"
+
+#: Default replay passes for ``replay-tiny`` (the bundled capture is
+#: small; a few passes give the simulator something to chew on).
+_TINY_REPEAT = 4
+
+
+# -- per-service rate factories ----------------------------------------
+# Each takes (sid, duration_s) and returns an *unscaled* params object;
+# make_workload rescales it so the time-average rate hits the target.
+def _steady_rates(sid: int, duration_s: float) -> HoltWintersParams:
+    return HoltWintersParams(a=1.0)
+
+
+def _mmpp2_rates(sid: int, duration_s: float) -> MMPPParams:
+    # classic quiet/burst on-off train: ~7x rate ratio, dwell times well
+    # inside the run so several burst episodes occur per service; stagger
+    # dwell scale a little per service so bursts do not align
+    dwell = duration_s / (10.0 + 2.0 * sid)
+    return MMPPParams(
+        rates_pps=(0.4, 2.8),
+        mean_dwell_s=(dwell, dwell / 3.0),
+        start_state=sid % 2,
+    )
+
+
+def _mmpp3_rates(sid: int, duration_s: float) -> MMPPParams:
+    # three-scale burstiness: idle / cruise / burst with asymmetric
+    # routing (bursts mostly decay into cruise, rarely straight to idle)
+    dwell = duration_s / (8.0 + sid)
+    return MMPPParams(
+        rates_pps=(0.1, 1.0, 4.0),
+        mean_dwell_s=(dwell, dwell / 2.0, dwell / 8.0),
+        transition=(
+            (0.0, 0.9, 0.1),
+            (0.3, 0.0, 0.7),
+            (0.1, 0.9, 0.0),
+        ),
+        start_state=1,
+    )
+
+
+def _diurnal_rates(sid: int, duration_s: float) -> DiurnalParams:
+    # the run is one compressed "day"; a flash crowd hits mid-afternoon
+    # at staggered times per service, tripling the offered rate in ~2%
+    # of the day
+    return DiurnalParams(
+        a=1.0,
+        amplitude=0.55,
+        period_s=duration_s,
+        sigma=0.05,
+        phase=0.25 * (sid % 2),
+        flash_crowds=(
+            FlashCrowd(
+                t_start_s=(0.45 + 0.1 * sid) * duration_s,
+                magnitude=2.0,
+                ramp_s=0.02 * duration_s,
+                decay_s=0.08 * duration_s,
+            ),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """One named workload: traces x rate model + provenance."""
+
+    name: str
+    kind: str  # "cdf" | "mmpp" | "diurnal" | "replay"
+    description: str
+    provenance: str
+    traces: tuple[str, ...] = ()
+    rate_factory: Callable | None = None
+    pcap: Path | None = None
+    repeat: int = 1
+
+
+WORKLOAD_PRESETS: dict[str, WorkloadPreset] = {
+    p.name: p
+    for p in (
+        WorkloadPreset(
+            name="websearch",
+            kind="cdf",
+            description="DCTCP web-search flow sizes on steady offered load",
+            provenance="Alizadeh et al., SIGCOMM 2010 (Fig. 4 CDF shape)",
+            traces=("websearch-1", "websearch-2", "websearch-3", "websearch-4"),
+            rate_factory=_steady_rates,
+        ),
+        WorkloadPreset(
+            name="datamining",
+            kind="cdf",
+            description="VL2 data-mining mix: mice swarm plus huge trains",
+            provenance="Greenberg et al., SIGCOMM 2009 (VL2 CDF shape)",
+            traces=("datamining-1", "datamining-2", "datamining-3", "datamining-4"),
+            rate_factory=_steady_rates,
+        ),
+        WorkloadPreset(
+            name="cache-mice",
+            kind="cdf",
+            description="bimodal cache-follower vs mice stress mix",
+            provenance="rotorsim cache weights idiom (90/9.9/0.1 split)",
+            traces=("cachemice-1", "cachemice-2", "cachemice-3", "cachemice-4"),
+            rate_factory=_steady_rates,
+        ),
+        WorkloadPreset(
+            name="websearch-mmpp",
+            kind="mmpp",
+            description="web-search flow sizes under 2-state MMPP burst trains",
+            provenance="MMPP on-off model; Sprinklers' bursty-internet regime",
+            traces=("websearch-1", "websearch-2", "websearch-3", "websearch-4"),
+            rate_factory=_mmpp2_rates,
+        ),
+        WorkloadPreset(
+            name="mmpp-bursty",
+            kind="mmpp",
+            description="paper's CAIDA-like headers under 3-state MMPP bursts",
+            provenance="3-state MMPP (idle/cruise/burst, asymmetric routing)",
+            traces=("caida-1", "caida-2", "caida-3", "caida-4"),
+            rate_factory=_mmpp3_rates,
+        ),
+        WorkloadPreset(
+            name="diurnal-flash",
+            kind="diurnal",
+            description="compressed diurnal day with per-service flash crowds",
+            provenance="diurnal sinusoid + flash-crowd envelope (ramp/decay)",
+            traces=("caida-1", "caida-2", "auck-1", "auck-2"),
+            rate_factory=_diurnal_rates,
+        ),
+        WorkloadPreset(
+            name="replay-tiny",
+            kind="replay",
+            description="bundled tiny capture replayed at recorded gaps",
+            provenance="synthetic capture committed under workloads/data/",
+            pcap=BUNDLED_PCAP,
+            repeat=_TINY_REPEAT,
+        ),
+    )
+}
+
+
+def workload_preset_names() -> list[str]:
+    """Registered workload preset names, sorted."""
+    return sorted(WORKLOAD_PRESETS)
+
+
+def _calibrated_params(
+    preset: WorkloadPreset,
+    num_cores: int,
+    utilisation: float,
+    duration_ns: int,
+    traces,
+) -> list:
+    """Scale each service's rate params so its time-average offered
+    rate is ``utilisation`` x its ideal capacity share (the tournament's
+    calibration, generalised to any rate-model family)."""
+    services = default_services()
+    per_service_cores = max(1, num_cores // len(services))
+    duration_s = duration_ns / units.SEC
+    params = []
+    for sid, trace in enumerate(traces):
+        mean_size = float(trace.size_bytes.mean())
+        cap = per_service_cores * services[sid].capacity_pps(mean_size)
+        raw = preset.rate_factory(sid, duration_s)
+        average = build_rate_model(raw).average_rate(duration_s)
+        params.append(raw.scaled(utilisation * cap / average))
+    return params
+
+
+def make_workload(
+    name: str,
+    *,
+    num_cores: int = 16,
+    utilisation: float = 0.75,
+    duration_ns: int = units.ms(20),
+    trace_packets: int = 24_000,
+    seed: int = 0,
+    stream: bool = False,
+    chunk_size: int | None = None,
+    speedup: float = 1.0,
+) -> Workload | PacketSource:
+    """Build a registered workload (or a ``pcap:<path>`` replay) by name.
+
+    With ``stream=True`` the result is a chunked
+    :class:`~repro.sim.source.PacketSource` producing the bit-identical
+    packet sequence at O(chunk) memory; otherwise a materialized
+    :class:`~repro.sim.workload.Workload`.  Replay presets follow the
+    capture's recorded gaps — ``utilisation`` and ``trace_packets`` do
+    not apply to them (``speedup`` rescales the gaps instead).
+    """
+    if name.startswith("pcap:"):
+        path = name[len("pcap:"):]
+        if not path:
+            raise ConfigError("pcap: scheme needs a path, e.g. pcap:capture.pcap.gz")
+        preset = WorkloadPreset(
+            name=name, kind="replay", description="ad-hoc capture replay",
+            provenance=path, pcap=Path(path),
+        )
+    else:
+        try:
+            preset = WORKLOAD_PRESETS[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown workload {name!r}: available "
+                f"{', '.join(workload_preset_names())} or pcap:<path>"
+            ) from None
+
+    if preset.kind == "replay":
+        source = PcapReplaySource(
+            preset.pcap,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            speedup=speedup,
+            repeat=preset.repeat,
+        )
+        return source if stream else source.materialize()
+
+    traces = [resolve_trace(t, num_packets=trace_packets) for t in preset.traces]
+    params = _calibrated_params(preset, num_cores, utilisation, duration_ns, traces)
+    if stream:
+        return StreamingSource(
+            traces, params, duration_ns, seed=seed,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        )
+    return build_workload(traces, params, duration_ns=duration_ns, seed=seed)
+
+
+def registry_workload(
+    name: str,
+    num_cores: int = 16,
+    utilisation: float = 0.75,
+    duration_ns: int = units.ms(20),
+    trace_packets: int = 24_000,
+    seed: int = 0,
+    stream: bool = False,
+    chunk_size: int | None = None,
+) -> Workload | PacketSource:
+    """Module-level :func:`make_workload` adapter for
+    :class:`~repro.experiments.batch.WorkloadSpec` (picklable, hashable
+    kwargs), so batch runs group and share one build per workload."""
+    return make_workload(
+        name,
+        num_cores=num_cores,
+        utilisation=utilisation,
+        duration_ns=duration_ns,
+        trace_packets=trace_packets,
+        seed=seed,
+        stream=stream,
+        chunk_size=chunk_size,
+    )
+
+
+def catalog() -> list[dict]:
+    """JSON-ready preset catalog (the ``repro-workloads list --json``
+    artifact uploaded by CI)."""
+    rows = []
+    for name in workload_preset_names():
+        p = WORKLOAD_PRESETS[name]
+        rows.append({
+            "name": p.name,
+            "kind": p.kind,
+            "description": p.description,
+            "provenance": p.provenance,
+            "traces": list(p.traces),
+            "pcap": p.pcap.name if p.pcap else None,
+            "repeat": p.repeat,
+        })
+    return rows

@@ -1,0 +1,222 @@
+"""CDF-driven flow-size distributions.
+
+The empirical-CDF idiom follows the rotorsim flow generator: a
+distribution is a monotone list of ``(cumulative_probability,
+size_bytes)`` points, sampled by inverse transform.  Bundled presets
+cover the two canonical datacenter measurement studies plus a
+cache-vs-mice stress mix:
+
+``websearch``
+    The DCTCP web-search workload (Alizadeh et al., SIGCOMM 2010,
+    Fig. 4): query/response traffic, most flows tens of KB with a
+    moderate tail to ~30 MB.
+``datamining``
+    The VL2 data-mining workload (Greenberg et al., SIGCOMM 2009):
+    extremely heavy-tailed — half the flows under 100 B, while flows
+    over 100 MB carry most of the bytes.
+``cache-mice``
+    A bimodal cache-follower vs. mice mix in the spirit of the rotorsim
+    ``cache`` preset: 90% tiny requests, a thin stream of mid-size
+    responses, and 0.1% ~125 MB bulk cache-fill flows.
+
+Distributions load from simple two-column CSVs (``size_bytes,cdf``), so
+new measurement studies drop in as data files; ``from_weights`` builds
+one from ``(percent, size)`` pairs for quick inline mixes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError, TraceFormatError
+from repro.util.rng import make_rng
+
+__all__ = [
+    "SizeDistribution",
+    "SIZE_DISTRIBUTIONS",
+    "WEBSEARCH",
+    "DATAMINING",
+    "CACHE_MICE",
+]
+
+_DATA_DIR = Path(__file__).parent / "data"
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """An empirical flow-size CDF over ``(cum_prob, size_bytes)`` points.
+
+    Points must be strictly increasing in both coordinates and end at
+    cumulative probability 1.0.  Sampling is discrete inverse-transform:
+    a uniform draw picks the first point whose cumulative probability
+    covers it, so samples take exactly the listed sizes (matching how
+    the measurement-study CDFs are normally replayed).
+    """
+
+    name: str
+    points: tuple[tuple[float, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigError("size distribution needs at least one CDF point")
+        prev_p, prev_s = 0.0, 0
+        for p, s in self.points:
+            if not prev_p < p <= 1.0:
+                raise ConfigError(
+                    f"{self.name}: CDF probabilities must be strictly "
+                    f"increasing in (0, 1], got {p} after {prev_p}"
+                )
+            if s <= prev_s:
+                raise ConfigError(
+                    f"{self.name}: sizes must be strictly increasing, "
+                    f"got {s} after {prev_s}"
+                )
+            prev_p, prev_s = p, s
+        if abs(prev_p - 1.0) > 1e-9:
+            raise ConfigError(
+                f"{self.name}: CDF must end at 1.0, got {prev_p}"
+            )
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_weights(
+        cls, weights: list[tuple[float, float]], name: str = ""
+    ) -> "SizeDistribution":
+        """Build from ``(percent, size_bytes)`` pairs (the rotorsim
+        ``simple_weights`` idiom); percents are normalised to 1."""
+        if not weights:
+            raise ConfigError("need at least one (percent, size) pair")
+        total = sum(w for w, _ in weights)
+        if total <= 0:
+            raise ConfigError("weights must sum to a positive total")
+        pairs = sorted((int(size), w / total) for w, size in weights)
+        points: list[tuple[float, int]] = []
+        cum = 0.0
+        for size, frac in pairs:
+            cum += frac
+            points.append((cum, size))
+        # normalisation can leave the last point at 1-eps; snap it
+        points[-1] = (1.0, points[-1][1])
+        return cls(name=name, points=tuple(points))
+
+    @classmethod
+    def from_csv(
+        cls, path: str | Path | io.TextIOBase, name: str = ""
+    ) -> "SizeDistribution":
+        """Load a two-column ``size_bytes,cdf`` CSV (header required)."""
+        close = False
+        if isinstance(path, (str, Path)):
+            fh = open(path, newline="")
+            close = True
+            name = name or Path(path).stem
+        else:
+            fh = path
+        try:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None or [c.strip() for c in header] != ["size_bytes", "cdf"]:
+                raise TraceFormatError(
+                    f"expected 'size_bytes,cdf' header, got {header}"
+                )
+            points = tuple(
+                (float(row[1]), int(float(row[0]))) for row in reader if row
+            )
+        finally:
+            if close:
+                fh.close()
+        return cls(name=name, points=points)
+
+    def to_csv(self, path: str | Path | io.TextIOBase) -> None:
+        """Write the ``size_bytes,cdf`` CSV read by :meth:`from_csv`."""
+        close = False
+        if isinstance(path, (str, Path)):
+            fh = open(path, "w", newline="")
+            close = True
+        else:
+            fh = path
+        try:
+            writer = csv.writer(fh)
+            writer.writerow(["size_bytes", "cdf"])
+            for p, s in self.points:
+                writer.writerow([s, f"{p:.6g}"])
+        finally:
+            if close:
+                fh.close()
+
+    # -- statistics ----------------------------------------------------
+    @property
+    def _probs(self) -> np.ndarray:
+        return np.asarray([p for p, _ in self.points], dtype=np.float64)
+
+    @property
+    def _sizes(self) -> np.ndarray:
+        return np.asarray([s for _, s in self.points], dtype=np.int64)
+
+    def pdf(self) -> list[tuple[float, int]]:
+        """Point masses ``(prob, size_bytes)`` (diff of the CDF)."""
+        probs = np.diff(self._probs, prepend=0.0)
+        return [(float(p), int(s)) for p, s in zip(probs, self._sizes)]
+
+    def mean_bytes(self) -> float:
+        """Expected flow size in bytes."""
+        probs = np.diff(self._probs, prepend=0.0)
+        return float((probs * self._sizes).sum())
+
+    def quantile(self, q: float) -> int:
+        """Smallest listed size with cumulative probability >= *q*."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self._probs, q, side="left"))
+        idx = min(idx, len(self.points) - 1)
+        return int(self._sizes[idx])
+
+    # -- sampling ------------------------------------------------------
+    def sample_bytes(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """*n* i.i.d. flow sizes in bytes (int64)."""
+        if n < 0:
+            raise ConfigError(f"sample count must be >= 0, got {n}")
+        rng = make_rng(rng)
+        u = rng.random(n)
+        idx = np.searchsorted(self._probs, u, side="left")
+        return self._sizes[np.minimum(idx, len(self.points) - 1)]
+
+    def sample_packets(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        mtu: int = 1500,
+    ) -> np.ndarray:
+        """*n* flow lengths in MTU-sized packets (>= 1 each)."""
+        if mtu <= 0:
+            raise ConfigError(f"mtu must be positive, got {mtu}")
+        sizes = self.sample_bytes(n, rng)
+        return np.maximum(1, -(-sizes // mtu))
+
+
+def _load_bundled(stem: str) -> SizeDistribution:
+    return SizeDistribution.from_csv(_DATA_DIR / f"{stem}.csv", name=stem)
+
+
+#: DCTCP web-search flow sizes (Alizadeh et al. 2010, Fig. 4 shape).
+WEBSEARCH = _load_bundled("websearch")
+
+#: VL2 data-mining flow sizes (Greenberg et al. 2009 shape).
+DATAMINING = _load_bundled("datamining")
+
+#: Bimodal cache-follower vs. mice stress mix (rotorsim-style weights).
+CACHE_MICE = SizeDistribution.from_weights(
+    [(90.0, 1_250), (9.9, 125_000), (0.1, 125_000_000)],
+    name="cache-mice",
+)
+
+#: Name -> distribution registry used by trace presets and the CLI.
+SIZE_DISTRIBUTIONS: dict[str, SizeDistribution] = {
+    d.name: d for d in (WEBSEARCH, DATAMINING, CACHE_MICE)
+}

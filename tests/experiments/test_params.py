@@ -24,9 +24,17 @@ class TestTables:
     def test_under_vs_overload(self):
         assert SET_UTILISATION["set1"] < 1.0 < SET_UTILISATION["set2"]
 
-    def test_four_trace_groups(self):
-        assert set(TRACE_GROUPS) == {"G1", "G2", "G3", "G4"}
+    def test_trace_groups(self):
+        # Table V's four groups plus the workload-library CDF group
+        assert set(TRACE_GROUPS) == {"G1", "G2", "G3", "G4", "W1"}
         assert all(len(g) == 4 for g in TRACE_GROUPS.values())
+
+    def test_w1_names_resolve(self):
+        from repro.workloads.traces import resolve_trace
+
+        for name in TRACE_GROUPS["W1"]:
+            trace = resolve_trace(name, num_packets=512)
+            assert trace.num_packets == 512
 
     def test_eight_scenarios(self):
         assert len(SCENARIOS) == 8

@@ -8,6 +8,8 @@ import pytest
 from repro.errors import TraceFormatError
 from repro.hashing.five_tuple import FiveTuple
 from repro.trace.pcap import (
+    iter_pcap,
+    new_counters,
     parse_pcap_bytes,
     read_pcap,
     trace_from_pcap,
@@ -139,3 +141,82 @@ class TestTraceFromPcapGz(object):
         trace, _ = trace_from_pcap(path, name="mycap")
         assert trace.name == "mycap"
         assert isinstance(gzip.open, object)  # sanity: gz path exercised above
+
+    def test_gz_roundtrip_full_columns(self, tmp_path):
+        # write_pcap -> trace_from_pcap through the gzip path must
+        # preserve flows, gaps and sizes exactly
+        path = tmp_path / "round.pcap.gz"
+        write_pcap(path, sample_packets())
+        trace, counters = trace_from_pcap(path)
+        assert counters["total"] == 3
+        assert trace.flow_id.tolist() == [0, 1, 0]
+        assert trace.gap_ns.tolist() == [0, 500, 500]
+        assert trace.size_bytes.tolist() == [500, 128, 1500]
+
+
+class TestStreaming:
+    """The generator reader (iter_pcap) behind read_pcap."""
+
+    def test_parity_with_read_pcap(self, tmp_path):
+        path = tmp_path / "t.pcap.gz"
+        write_pcap(path, sample_packets())
+        eager, eager_counters = read_pcap(path)
+        counters = new_counters()
+        streamed = list(iter_pcap(path, counters))
+        assert [p.key for p in streamed] == [p.key for p in eager]
+        assert [p.ts_ns for p in streamed] == [p.ts_ns for p in eager]
+        assert counters == eager_counters
+
+    def test_lazy_header_validation(self, tmp_path):
+        # the global header is validated on first next(), not at call
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\xde\xad\xbe\xef" + b"\x00" * 20)
+        it = iter_pcap(path)
+        with pytest.raises(TraceFormatError, match="magic"):
+            next(it)
+
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\x00" * 10)
+        with pytest.raises(TraceFormatError, match="too short"):
+            list(iter_pcap(path))
+
+    def test_truncated_record_header(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, sample_packets())
+        data = path.read_bytes()
+        record = (len(data) - 24) // 3  # equal-size synthesised records
+        truncated = tmp_path / "trunc.pcap"
+        # keep the first two records plus part of the third's header
+        # (records differ in size; the average lands inside the header)
+        truncated.write_bytes(data[: 24 + 2 * record + 10])
+        it = iter_pcap(truncated)
+        assert next(it).wire_len == 500
+        assert next(it).wire_len == 128
+        with pytest.raises(TraceFormatError, match="truncated record header"):
+            next(it)
+
+    def test_truncated_final_record_body(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, sample_packets())
+        truncated = tmp_path / "trunc.pcap"
+        truncated.write_bytes(path.read_bytes()[:-4])
+        # packets before the cut are yielded, then the error surfaces
+        it = iter_pcap(truncated)
+        assert next(it).wire_len == 500
+        assert next(it).wire_len == 128
+        with pytest.raises(TraceFormatError, match="truncated record body"):
+            next(it)
+
+    def test_unsupported_linktype(self, tmp_path):
+        path = tmp_path / "lt.pcap"
+        path.write_bytes(
+            struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 42)
+        )
+        with pytest.raises(TraceFormatError, match="linktype"):
+            list(iter_pcap(path))
+
+    def test_counters_optional(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, sample_packets())
+        assert len(list(iter_pcap(path))) == 3

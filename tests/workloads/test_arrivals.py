@@ -1,0 +1,212 @@
+"""Tests for MMPP and diurnal/flash-crowd arrival models."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.sim.generator import build_rate_model
+from repro.sim.source import StreamingSource, workload_fingerprint
+from repro.sim.workload import build_workload
+from repro.trace.synthetic import preset_trace
+from repro.workloads.arrivals import (
+    MMPP,
+    DiurnalParams,
+    DiurnalRate,
+    FlashCrowd,
+    MMPPParams,
+)
+
+
+class TestMMPPParams:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MMPPParams(rates_pps=(), mean_dwell_s=())
+        with pytest.raises(ConfigError):
+            MMPPParams(rates_pps=(1.0, 2.0), mean_dwell_s=(1.0,))
+        with pytest.raises(ConfigError):
+            MMPPParams(rates_pps=(-1.0,), mean_dwell_s=(1.0,))
+        with pytest.raises(ConfigError):
+            MMPPParams(rates_pps=(0.0, 0.0), mean_dwell_s=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            MMPPParams(rates_pps=(1.0,), mean_dwell_s=(0.0,))
+        with pytest.raises(ConfigError):
+            MMPPParams(rates_pps=(1.0, 2.0), mean_dwell_s=(1.0, 1.0),
+                       start_state=2)
+
+    def test_transition_validation(self):
+        with pytest.raises(ConfigError, match="diagonal"):
+            MMPPParams(
+                rates_pps=(1.0, 2.0), mean_dwell_s=(1.0, 1.0),
+                transition=((0.5, 0.5), (1.0, 0.0)),
+            )
+        with pytest.raises(ConfigError, match="distribution"):
+            MMPPParams(
+                rates_pps=(1.0, 2.0), mean_dwell_s=(1.0, 1.0),
+                transition=((0.0, 0.5), (1.0, 0.0)),
+            )
+        with pytest.raises(ConfigError, match="2x2"):
+            MMPPParams(
+                rates_pps=(1.0, 2.0), mean_dwell_s=(1.0, 1.0),
+                transition=((0.0, 1.0),),
+            )
+
+    def test_scaled(self):
+        p = MMPPParams(rates_pps=(1.0, 4.0), mean_dwell_s=(2.0, 1.0))
+        q = p.scaled(3.0)
+        assert q.rates_pps == (3.0, 12.0)
+        assert q.mean_dwell_s == p.mean_dwell_s
+        with pytest.raises(ConfigError):
+            p.scaled(0.0)
+
+    def test_build_dispatch(self):
+        p = MMPPParams(rates_pps=(1.0, 4.0), mean_dwell_s=(2.0, 1.0))
+        assert isinstance(build_rate_model(p), MMPP)
+
+
+class TestMMPPModel:
+    def test_stationary_two_state(self):
+        # equal dwell -> equal time share -> mean of the rates
+        p = MMPPParams(rates_pps=(1.0, 3.0), mean_dwell_s=(1.0, 1.0))
+        m = MMPP(p)
+        assert m.stationary_distribution() == pytest.approx([0.5, 0.5])
+        assert m.stationary_rate() == pytest.approx(2.0)
+        assert m.average_rate(10.0) == pytest.approx(2.0)
+
+    def test_stationary_weighted_by_dwell(self):
+        p = MMPPParams(rates_pps=(0.0, 4.0), mean_dwell_s=(3.0, 1.0))
+        m = MMPP(p)
+        assert m.stationary_distribution() == pytest.approx([0.75, 0.25])
+        assert m.stationary_rate() == pytest.approx(1.0)
+
+    def test_single_state_degenerates_to_poisson(self):
+        p = MMPPParams(rates_pps=(5.0,), mean_dwell_s=(1.0,))
+        m = MMPP(p)
+        t = np.linspace(0, 10, 100)
+        assert np.all(m.sample_rates(t, rng=0) == 5.0)
+
+    def test_trajectory_takes_state_rates(self):
+        p = MMPPParams(rates_pps=(1.0, 8.0), mean_dwell_s=(0.01, 0.01))
+        rates = MMPP(p).sample_rates(np.linspace(0, 1, 2000), rng=3)
+        values = set(np.unique(rates))
+        assert values == {1.0, 8.0}  # both states visited, nothing else
+
+    def test_trajectory_deterministic_per_seed(self):
+        p = MMPPParams(rates_pps=(1.0, 8.0), mean_dwell_s=(0.05, 0.02))
+        t = np.linspace(0, 1, 500)
+        assert np.array_equal(MMPP(p).sample_rates(t, rng=9),
+                              MMPP(p).sample_rates(t, rng=9))
+
+    def test_segment_hint_resolves_shortest_dwell(self):
+        p = MMPPParams(rates_pps=(1.0, 8.0), mean_dwell_s=(1.0, 0.04))
+        assert MMPP(p).segment_hint_s() == pytest.approx(0.5)
+
+
+class TestFlashCrowd:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FlashCrowd(t_start_s=-1.0, magnitude=1.0, ramp_s=1.0, decay_s=1.0)
+        with pytest.raises(ConfigError):
+            FlashCrowd(t_start_s=0.0, magnitude=0.0, ramp_s=1.0, decay_s=1.0)
+        with pytest.raises(ConfigError):
+            FlashCrowd(t_start_s=0.0, magnitude=1.0, ramp_s=0.0, decay_s=1.0)
+
+    def test_envelope_shape(self):
+        fc = FlashCrowd(t_start_s=10.0, magnitude=2.0, ramp_s=2.0, decay_s=4.0)
+        t = np.array([0.0, 10.0, 11.0, 12.0, 16.0, 100.0])
+        env = fc.envelope(t)
+        assert env[0] == 0.0 and env[1] == 0.0  # nothing before onset
+        assert env[2] == pytest.approx(0.5)      # mid-ramp
+        assert env[3] == pytest.approx(1.0)      # peak
+        assert env[4] == pytest.approx(np.exp(-1.0))  # one decay constant
+        assert env[5] < 1e-6                     # long gone
+
+
+class TestDiurnal:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DiurnalParams(a=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalParams(a=1.0, amplitude=1.0)
+        with pytest.raises(ConfigError):
+            DiurnalParams(a=1.0, period_s=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalParams(a=1.0, sigma=-1.0)
+
+    def test_sinusoid_and_floor(self):
+        p = DiurnalParams(a=100.0, amplitude=0.5, period_s=1.0)
+        r = DiurnalRate(p)
+        assert r.mean_rate(0.25) == pytest.approx(150.0)
+        assert r.mean_rate(0.75) == pytest.approx(50.0)
+        assert r.average_rate(1.0) == pytest.approx(100.0, rel=0.01)
+        # floor: even a crazy trend cannot push the rate to zero
+        steep = DiurnalRate(DiurnalParams(a=100.0, trend_pps_per_s=-1e6))
+        assert steep.mean_rate(10.0) == pytest.approx(1.0)  # a * 0.01
+
+    def test_flash_crowd_multiplies(self):
+        fc = FlashCrowd(t_start_s=0.5, magnitude=2.0, ramp_s=0.01, decay_s=0.05)
+        base = DiurnalRate(DiurnalParams(a=100.0, amplitude=0.0, period_s=1.0))
+        surged = DiurnalRate(DiurnalParams(
+            a=100.0, amplitude=0.0, period_s=1.0, flash_crowds=(fc,),
+        ))
+        at_peak = 0.51
+        assert surged.mean_rate(at_peak) == pytest.approx(
+            base.mean_rate(at_peak) * 3.0
+        )
+
+    def test_scaled_preserves_shape(self):
+        p = DiurnalParams(a=10.0, trend_pps_per_s=1.0, sigma=0.5)
+        q = p.scaled(4.0)
+        assert (q.a, q.trend_pps_per_s, q.sigma) == (40.0, 4.0, 2.0)
+        assert q.amplitude == p.amplitude and q.period_s == p.period_s
+
+    def test_build_dispatch(self):
+        assert isinstance(build_rate_model(DiurnalParams(a=1.0)), DiurnalRate)
+
+
+# ----------------------------------------------------------------------
+class TestStreamedBitIdentity:
+    """New model families through the workload pipeline: streamed ==
+    materialized, per column — the PR 4 contract."""
+
+    COLUMNS = ("arrival_ns", "service_id", "flow_id", "size_bytes",
+               "flow_hash", "seq")
+
+    def _inputs(self, params):
+        traces = [preset_trace("caida-1", num_packets=1500),
+                  preset_trace("auck-1", num_packets=1500)]
+        return traces, params
+
+    @pytest.mark.parametrize("params", [
+        MMPPParams(rates_pps=(0.4e6, 2.8e6), mean_dwell_s=(4e-4, 1.5e-4)),
+        DiurnalParams(
+            a=1.5e6, amplitude=0.5, period_s=2e-3, sigma=0.05e6,
+            flash_crowds=(FlashCrowd(
+                t_start_s=8e-4, magnitude=2.0, ramp_s=5e-5, decay_s=2e-4,
+            ),),
+        ),
+    ], ids=["mmpp", "diurnal-flash"])
+    def test_streamed_equals_materialized(self, params):
+        traces, params = self._inputs(
+            [params, params.scaled(0.7)]
+        )
+        duration = units.ms(2)
+        wl = build_workload(traces, params, duration_ns=duration, seed=5)
+        src = StreamingSource(traces, params, duration, seed=5, chunk_size=777)
+        mat = src.materialize()
+        for col in self.COLUMNS:
+            assert np.array_equal(getattr(wl, col), getattr(mat, col)), col
+        assert workload_fingerprint(wl) == src.fingerprint()
+
+    def test_fingerprint_chunk_size_independent(self):
+        traces, params = self._inputs([
+            MMPPParams(rates_pps=(0.4e6, 2.8e6), mean_dwell_s=(4e-4, 1.5e-4)),
+            MMPPParams(rates_pps=(0.4e6, 2.8e6), mean_dwell_s=(4e-4, 1.5e-4),
+                       start_state=1),
+        ])
+        fps = {
+            StreamingSource(traces, params, units.ms(2), seed=5,
+                            chunk_size=cs).fingerprint()
+            for cs in (123, 1024, 65_536)
+        }
+        assert len(fps) == 1

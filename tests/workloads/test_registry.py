@@ -1,0 +1,145 @@
+"""Tests for the named-workload registry and its harness adapters."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.sim.source import PacketSource, workload_fingerprint
+from repro.sim.workload import Workload
+from repro.workloads.registry import (
+    BUNDLED_PCAP,
+    WORKLOAD_PRESETS,
+    catalog,
+    make_workload,
+    registry_workload,
+    workload_preset_names,
+)
+
+SMALL = dict(duration_ns=units.ms(3), trace_packets=3_000, seed=2)
+
+
+class TestCatalog:
+    def test_at_least_six_presets(self):
+        assert len(WORKLOAD_PRESETS) >= 6
+
+    def test_kinds_covered(self):
+        kinds = {p.kind for p in WORKLOAD_PRESETS.values()}
+        assert {"cdf", "mmpp", "diurnal", "replay"} <= kinds
+
+    def test_bundled_pcap_exists(self):
+        assert BUNDLED_PCAP.exists()
+
+    def test_catalog_rows(self):
+        rows = catalog()
+        assert [r["name"] for r in rows] == workload_preset_names()
+        for row in rows:
+            assert row["description"] and row["provenance"]
+        tiny = next(r for r in rows if r["name"] == "replay-tiny")
+        assert tiny["pcap"] == "tiny.pcap.gz" and tiny["repeat"] >= 1
+
+
+class TestMakeWorkload:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PRESETS))
+    def test_both_modes_bit_identical(self, name):
+        wl = make_workload(name, **SMALL)
+        src = make_workload(name, stream=True, chunk_size=513, **SMALL)
+        assert isinstance(wl, Workload)
+        assert isinstance(src, PacketSource)
+        assert workload_fingerprint(wl) == src.fingerprint()
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            make_workload("nope")
+
+    def test_utilisation_calibration(self):
+        # offered rate tracks the utilisation knob across model families
+        for name in ("websearch", "websearch-mmpp", "diurnal-flash"):
+            lo = make_workload(name, utilisation=0.4, **SMALL)
+            hi = make_workload(name, utilisation=0.8, **SMALL)
+            assert hi.num_packets > 1.5 * lo.num_packets, name
+
+    def test_pcap_scheme(self, tmp_path):
+        src = make_workload(f"pcap:{BUNDLED_PCAP}", stream=True)
+        assert isinstance(src, PacketSource)
+        assert src.num_services == 1
+        with pytest.raises(ConfigError, match="needs a path"):
+            make_workload("pcap:")
+
+    def test_replay_speedup(self):
+        slow = make_workload("replay-tiny")
+        fast = make_workload("replay-tiny", speedup=2.0)
+        assert fast.duration_ns < slow.duration_ns
+        assert fast.num_packets == slow.num_packets
+
+    def test_registry_workload_adapter(self):
+        a = registry_workload("websearch", **SMALL)
+        b = make_workload("websearch", **SMALL)
+        assert workload_fingerprint(a) == workload_fingerprint(b)
+
+    def test_four_service_presets_split_services(self):
+        wl = make_workload("websearch", **SMALL)
+        assert wl.num_services == 4
+        assert set(np.unique(wl.service_id)) == {0, 1, 2, 3}
+
+
+class TestHarnessIntegration:
+    def test_sim_cli_workload_flag(self, capsys):
+        from repro.sim.cli import main
+
+        rc = main([
+            "compare", "--workload", "websearch", "--duration-ms", "2",
+            "--packets", "2000", "--schedulers", "hash-static",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "preset 'websearch'" in out
+        assert "hash-static" in out
+
+    def test_sim_cli_workload_streamed(self, capsys):
+        from repro.sim.cli import main
+
+        rc = main([
+            "compare", "--workload", "replay-tiny", "--stream",
+            "--schedulers", "hash-static",
+        ])
+        assert rc == 0
+        assert "streamed" in capsys.readouterr().out
+
+    def test_experiments_harness(self):
+        from repro.experiments import workloads
+
+        result = workloads.run(
+            quick=True, presets=("websearch", "replay-tiny"),
+            duration_ns=units.ms(2), trace_packets=2_000,
+        )
+        assert len(result.rows) == 2 * len(workloads.SCHEDULERS)
+        assert set(result.column("workload")) == {"websearch", "replay-tiny"}
+
+    def test_faults_harness_trace_names(self):
+        from repro.faults.harness import fault_workload
+
+        wl = fault_workload(
+            0.5, units.ms(2), trace_packets=2_000,
+            trace_names=("websearch-1", "websearch-2", "datamining-1",
+                         "cachemice-1"),
+        )
+        assert wl.num_services == 4
+
+    def test_tournament_w1_group(self):
+        from repro.experiments.tournament import _zoo_workload
+
+        wl = _zoo_workload(
+            group="W1", utilisation=0.5, duration_ns=units.ms(2),
+            trace_packets=2_000, seed=0, fault="none",
+        )
+        assert wl.num_packets > 0
+
+    def test_tournament_quick_keeps_explicit_groups(self):
+        from repro.experiments.tournament import run_tournament
+
+        payload = run_tournament(
+            schedulers=("hash-static",), groups=("W1",), faults=("none",),
+            quick=True, duration_ns=units.ms(2), trace_packets=2_000,
+        )
+        assert {r["group"] for r in payload["runs"]} == {"W1"}

@@ -1,0 +1,123 @@
+"""Tests for CDF-driven flow-size distributions."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TraceFormatError
+from repro.workloads.sizes import (
+    CACHE_MICE,
+    DATAMINING,
+    SIZE_DISTRIBUTIONS,
+    WEBSEARCH,
+    SizeDistribution,
+)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDistribution(name="x", points=())
+
+    def test_non_increasing_probs_rejected(self):
+        with pytest.raises(ConfigError, match="increasing"):
+            SizeDistribution(name="x", points=((0.5, 100), (0.5, 200)))
+
+    def test_non_increasing_sizes_rejected(self):
+        with pytest.raises(ConfigError, match="sizes"):
+            SizeDistribution(name="x", points=((0.5, 200), (1.0, 100)))
+
+    def test_must_end_at_one(self):
+        with pytest.raises(ConfigError, match="end at 1.0"):
+            SizeDistribution(name="x", points=((0.5, 100), (0.9, 200)))
+
+    def test_prob_above_one_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDistribution(name="x", points=((1.5, 100),))
+
+
+class TestFromWeights:
+    def test_normalises_and_sorts(self):
+        d = SizeDistribution.from_weights([(10.0, 1000), (90.0, 100)])
+        assert d.points == ((0.9, 100), (1.0, 1000))
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDistribution.from_weights([])
+        with pytest.raises(ConfigError):
+            SizeDistribution.from_weights([(0.0, 100)])
+
+    def test_mean(self):
+        d = SizeDistribution.from_weights([(50.0, 100), (50.0, 300)])
+        assert d.mean_bytes() == pytest.approx(200.0)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "d.csv"
+        WEBSEARCH.to_csv(path)
+        back = SizeDistribution.from_csv(path)
+        assert back.points == WEBSEARCH.points
+        assert back.name == "d"
+
+    def test_stream_roundtrip(self):
+        buf = io.StringIO()
+        CACHE_MICE.to_csv(buf)
+        buf.seek(0)
+        back = SizeDistribution.from_csv(buf, name="cache")
+        assert back.points == CACHE_MICE.points
+
+    def test_header_required(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            SizeDistribution.from_csv(io.StringIO("100,0.5\n200,1.0\n"))
+
+
+class TestStatistics:
+    def test_pdf_sums_to_one(self):
+        for d in SIZE_DISTRIBUTIONS.values():
+            assert sum(p for p, _ in d.pdf()) == pytest.approx(1.0)
+
+    def test_quantiles(self):
+        d = SizeDistribution.from_weights([(50.0, 100), (50.0, 300)])
+        assert d.quantile(0.0) == 100
+        assert d.quantile(0.5) == 100
+        assert d.quantile(0.51) == 300
+        assert d.quantile(1.0) == 300
+        with pytest.raises(ConfigError):
+            d.quantile(1.5)
+
+    def test_bundled_shapes(self):
+        # websearch: moderate tail; datamining: extreme mice + monsters
+        assert WEBSEARCH.quantile(0.5) < 50_000
+        assert DATAMINING.quantile(0.5) <= 100
+        assert DATAMINING.points[-1][1] == 1_000_000_000
+        assert CACHE_MICE.quantile(0.5) == 1_250
+
+
+class TestSampling:
+    def test_samples_take_listed_sizes(self):
+        d = SizeDistribution.from_weights([(50.0, 100), (50.0, 300)])
+        samples = d.sample_bytes(500, rng=1)
+        assert set(np.unique(samples)) <= {100, 300}
+
+    def test_deterministic_per_seed(self):
+        a = WEBSEARCH.sample_bytes(100, rng=7)
+        b = WEBSEARCH.sample_bytes(100, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_empirical_frequencies(self):
+        d = SizeDistribution.from_weights([(90.0, 100), (10.0, 1000)])
+        samples = d.sample_bytes(20_000, rng=3)
+        frac_small = float((samples == 100).mean())
+        assert frac_small == pytest.approx(0.9, abs=0.02)
+
+    def test_sample_packets_floor_one(self):
+        pkts = DATAMINING.sample_packets(1000, rng=2, mtu=1500)
+        assert pkts.min() >= 1
+        with pytest.raises(ConfigError):
+            DATAMINING.sample_packets(10, rng=2, mtu=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            WEBSEARCH.sample_bytes(-1)
