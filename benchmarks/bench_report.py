@@ -1,11 +1,17 @@
 """Emit ``BENCH_kernel.json`` — the machine-readable kernel scorecard.
 
 Measures end-to-end simulated packets per second of wall time for the
-hash-static and LAPS schedulers over the scalar x vectorized and
-materialized x streamed grid, plus the peak RSS of each run.  Every
-cell runs in a fresh subprocess (``ru_maxrss``/``VmHWM`` are
-process-lifetime high-watermarks) and reports the best of several
-rounds, so the numbers are comparable across commits on the same box.
+scheduler zoo (hash-static, rss-static, adaptive-hash, flowlet, LAPS)
+over the event-engine x materialized x streamed grid, plus the peak RSS
+of each run.  Every cell carries an ``engine`` column: ``heap`` is the
+scalar oracle, ``calendar`` the batched numpy span drain, and
+``calendar-numba`` the compiled backend (recorded with its fallback
+when numba is absent — see docs/performance.md).  A pair of
+``vectorized=False`` cells preserves the scalar floor tracked since the
+first scorecard.  Every cell runs in a fresh subprocess
+(``ru_maxrss``/``VmHWM`` are process-lifetime high-watermarks) and
+reports the best of several rounds, so the numbers are comparable
+across commits on the same box.
 
 Run from the repo root::
 
@@ -41,9 +47,9 @@ def peak_rss_kib():
     import resource
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
-scheduler, source_kind, vectorized, packets, rounds = (
+scheduler, source_kind, vectorized, packets, rounds, engine = (
     sys.argv[1], sys.argv[2], sys.argv[3] == "1", int(sys.argv[4]),
-    int(sys.argv[5]),
+    int(sys.argv[5]), sys.argv[6] or None,
 )
 
 from repro import units
@@ -51,11 +57,14 @@ from repro.core.laps import LAPSConfig, LAPSScheduler
 from repro.net.service import Service, ServiceSet
 from repro.schedulers.base import make_scheduler
 from repro.sim.config import SimConfig
+from repro.sim.engine import resolve_engine
 from repro.sim.generator import HoltWintersParams
 from repro.sim.source import StreamingSource
 from repro.sim.system import simulate
 from repro.sim.workload import build_workload
 from repro.trace.synthetic import preset_trace
+
+engine_spec = resolve_engine(engine)
 
 RATE = 8e6  # offered pps (HoltWinters level)
 trace = preset_trace("caida-1", num_packets=packets)
@@ -82,7 +91,8 @@ best_pps, generated = 0.0, 0
 for _ in range(rounds):
     # the kernel clones a source argument, so one object seeds all rounds
     t0 = time.perf_counter()
-    report = simulate(workload, make_sched(), config, vectorized=vectorized)
+    report = simulate(workload, make_sched(), config, vectorized=vectorized,
+                      engine=engine)
     dt = time.perf_counter() - t0
     generated = report.generated
     best_pps = max(best_pps, report.generated / dt)
@@ -92,6 +102,9 @@ json.dump(
         "pkts_per_sec": round(best_pps, 1),
         "generated": generated,
         "peak_rss_mb": round(peak_rss_kib() / 1024.0, 1),
+        "engine": engine_spec.name,
+        "engine_requested": engine_spec.requested,
+        "engine_fallback": engine_spec.fallback_reason,
     },
     sys.stdout,
 )
@@ -99,7 +112,8 @@ json.dump(
 
 
 def _run_cell(
-    scheduler: str, source_kind: str, vectorized: bool, packets: int, rounds: int
+    scheduler: str, source_kind: str, vectorized: bool, packets: int,
+    rounds: int, engine: str | None = None,
 ) -> dict:
     src_dir = Path(__file__).resolve().parent.parent / "src"
     env = dict(os.environ)
@@ -110,6 +124,7 @@ def _run_cell(
         [
             sys.executable, "-c", _CHILD, scheduler, source_kind,
             "1" if vectorized else "0", str(packets), str(rounds),
+            engine or "",
         ],
         capture_output=True, text=True, env=env, check=True,
     )
@@ -133,23 +148,40 @@ def main(argv: list[str] | None = None) -> int:
     packets = 20_000 if quick else 200_000
     rounds = 1 if quick else 3
 
-    results = []
-    for scheduler in ("hash-static", "laps"):
+    # the grid: scheduler zoo x engines on the vectorized path, plus
+    # the two historical scalar-floor cells (vectorized=False, heap) —
+    # those MUST NOT regress relative to earlier scorecards.
+    schedulers = ("hash-static", "rss-static", "adaptive-hash", "flowlet",
+                  "laps")
+    grid: list[tuple[str, str, bool, str | None]] = []
+    for scheduler in schedulers:
         for source_kind in ("materialized", "streamed"):
-            for vectorized in (True, False):
-                cell = _run_cell(
-                    scheduler, source_kind, vectorized, packets, rounds
-                )
-                results.append(cell)
-                print(
-                    f"{scheduler:12s} {source_kind:12s} "
-                    f"vectorized={str(vectorized):5s} "
-                    f"{cell['pkts_per_sec']:>12,.0f} pkts/s  "
-                    f"rss {cell['peak_rss_mb']:.1f} MiB"
-                )
+            engines = ("heap", "calendar", "calendar-numba") \
+                if source_kind == "materialized" else ("heap", "calendar")
+            for engine in engines:
+                grid.append((scheduler, source_kind, True, engine))
+    for scheduler in ("hash-static", "laps"):
+        grid.append((scheduler, "materialized", False, "heap"))
+
+    results = []
+    for scheduler, source_kind, vectorized, engine in grid:
+        cell = _run_cell(
+            scheduler, source_kind, vectorized, packets, rounds,
+            engine=engine,
+        )
+        results.append(cell)
+        note = f" (fallback: {cell['engine_fallback']})" \
+            if cell.get("engine_fallback") else ""
+        print(
+            f"{scheduler:14s} {source_kind:12s} "
+            f"vectorized={str(vectorized):5s} "
+            f"engine={cell['engine_requested'] or 'default':14s} "
+            f"{cell['pkts_per_sec']:>12,.0f} pkts/s  "
+            f"rss {cell['peak_rss_mb']:.1f} MiB{note}"
+        )
 
     doc = {
-        "schema": "repro.bench_kernel/1",
+        "schema": "repro.bench_kernel/2",
         "generated_by": "benchmarks/bench_report.py",
         "quick": quick,
         "packets": packets,

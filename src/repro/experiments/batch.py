@@ -82,6 +82,10 @@ class RunSpec:
     #: are stateful) and handed to :func:`~repro.sim.system.simulate`
     injector_fn: Callable | None = None
     injector_kwargs: dict = field(default_factory=dict)
+    #: event engine for the run (None = the kernel default; see
+    #: :func:`repro.sim.engine.resolve_engine`) — results are engine-
+    #: independent, so this is a speed knob, not a scenario axis
+    engine: str | None = None
     label: dict = field(default_factory=dict)
 
     def build_config(self) -> SimConfig:
@@ -116,7 +120,7 @@ def _group_task(packed: tuple) -> list[tuple[int, BatchRun]]:
         scheduler = spec.scheduler_fn(**spec.scheduler_kwargs)
         report = simulate(
             workload, scheduler, spec.build_config(),
-            injector=spec.build_injector(),
+            injector=spec.build_injector(), engine=spec.engine,
         )
         out.append((index, BatchRun(spec, report)))
     return out

@@ -50,6 +50,7 @@ from repro.faults.injector import FaultInjector, apply_traffic_events
 from repro.net.service import default_services
 from repro.schedulers.base import Scheduler, make_scheduler
 from repro.sim.config import SimConfig
+from repro.sim.engine import available_engines
 from repro.sim.generator import HoltWintersParams
 from repro.sim.metrics import SimReport
 from repro.sim.workload import Workload, build_workload
@@ -238,6 +239,7 @@ def run_tournament(
     duration_ns: int | None = None,
     trace_packets: int | None = None,
     jobs: int = 1,
+    engine: str | None = None,
 ) -> dict[str, Any]:
     """Race the field and return the ``repro.tournament/1`` payload."""
     if quick:
@@ -281,6 +283,7 @@ def run_tournament(
                                 {} if fault == "none"
                                 else dict(fault=fault, duration_ns=duration_ns)
                             ),
+                            engine=engine,
                             label=dict(
                                 scheduler=name, group=group, fault=fault,
                                 utilisation=util, seed=seed,
@@ -463,6 +466,11 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_SEEDS,
     )
     parser.add_argument(
+        "--engine", choices=available_engines(), default=None,
+        help="event core for every run (bit-identical scorecards across "
+             "engines; see docs/performance.md)",
+    )
+    parser.add_argument(
         "--json", metavar="FILE", default="TOURNAMENT.json",
         help="scorecard output path (default: TOURNAMENT.json)",
     )
@@ -480,6 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         seeds=args.seeds,
         quick=args.quick,
         jobs=args.jobs,
+        engine=args.engine,
     )
     validate_scorecard(payload)
     out = Path(args.json)

@@ -190,6 +190,7 @@ def run_scenario(
     schedulers: tuple[str, ...] = SCHEDULER_NAMES,
     probe_period_ns: int | None = None,
     trace_names: tuple[str, ...] | None = None,
+    engine: str | None = None,
 ) -> dict[str, tuple[SimReport, ResilienceSummary]]:
     """One scenario under each scheduler; returns per-scheduler
     ``(report, resilience)`` keyed by scheduler name."""
@@ -216,7 +217,7 @@ def run_scenario(
         probe = TelemetryProbe(probe_period_ns)
         injector = FaultInjector(schedule, drain_policy=scenario.drain_policy)
         report = simulate(workload, sched, config, probe=probe,
-                          injector=injector)
+                          injector=injector, engine=engine)
         resilience = compute_resilience(
             probe.records, schedule, scheduler=name,
             arrivals_end_ns=duration_ns,
@@ -227,11 +228,11 @@ def run_scenario(
 
 def _scenario_task(args: tuple) -> list[dict]:
     """One scenario's table rows (module-level for pickling)."""
-    sname, quick, seed, duration_ns, trace_packets, trace_names = args
+    sname, quick, seed, duration_ns, trace_packets, trace_names, engine = args
     results = run_scenario(
         FAULT_SCENARIOS[sname], quick=quick, seed=seed,
         duration_ns=duration_ns, trace_packets=trace_packets,
-        trace_names=trace_names,
+        trace_names=trace_names, engine=engine,
     )
     rows = []
     for sched_name, (rep, res) in results.items():
@@ -260,6 +261,7 @@ def run(
     trace_packets: int | None = None,
     jobs: int = 1,
     trace_names: tuple[str, ...] | None = None,
+    engine: str | None = None,
 ) -> ExperimentResult:
     """F1-F4 x {FCFS, AFS, LAPS}: the resilience comparison table.
 
@@ -281,7 +283,8 @@ def run(
         ],
         meta=meta,
     )
-    tasks = [(sname, quick, seed, duration_ns, trace_packets, trace_names)
+    tasks = [(sname, quick, seed, duration_ns, trace_packets, trace_names,
+              engine)
              for sname in names]
     for rows in parallel_map(_scenario_task, tasks, jobs=jobs):
         for row in rows:

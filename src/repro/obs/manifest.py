@@ -53,6 +53,9 @@ class RunManifest:
     package_version: str
     seed: int | None = None
     scheduler: str | None = None
+    #: the event engine that actually ran ("heap", "calendar",
+    #: "calendar-numba"); None for manifests predating the field
+    engine: str | None = None
     config: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
@@ -63,6 +66,7 @@ class RunManifest:
         config=None,
         seed: int | None = None,
         scheduler: str | None = None,
+        engine: str | None = None,
         **extra,
     ) -> "RunManifest":
         """Snapshot the current environment plus the run's knobs.
@@ -84,6 +88,7 @@ class RunManifest:
             package_version=__version__,
             seed=seed,
             scheduler=scheduler,
+            engine=engine,
             config=config or {},
             extra=extra,
         )
@@ -98,6 +103,7 @@ class RunManifest:
             "package_version": self.package_version,
             "seed": self.seed,
             "scheduler": self.scheduler,
+            "engine": self.engine,
             "config": dict(self.config),
             "extra": dict(self.extra),
         }
@@ -106,7 +112,7 @@ class RunManifest:
     def from_dict(cls, d: dict[str, Any]) -> "RunManifest":
         known = {f: d.get(f) for f in (
             "created_utc", "host", "platform", "python_version",
-            "package_version", "seed", "scheduler",
+            "package_version", "seed", "scheduler", "engine",
         )}
         return cls(**known, config=d.get("config") or {}, extra=d.get("extra") or {})
 

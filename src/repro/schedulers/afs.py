@@ -35,6 +35,11 @@ __all__ = ["AFSScheduler"]
 class AFSScheduler(Scheduler):
     """Global bucket hash + arbitrary-bucket migration on overload."""
 
+    #: planned entries are pure bucket-map lookups; all occupancy logic
+    #: (imbalance counting, the shift) hides behind batch_guard, so
+    #: spans may be drained batched — a guard trip truncates the span
+    batch_static = True
+
     def __init__(
         self,
         buckets_per_core: int = 16,

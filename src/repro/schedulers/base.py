@@ -80,6 +80,31 @@ class Scheduler(ABC):
     #: ``None`` (no occupancy was read).
     batch_commit: Callable[[int, int, int, int, int], None] | None = None
 
+    #: Declares that :meth:`assign_batch` entries depend **only** on the
+    #: packet columns and the scheduler's tables — never on live queue
+    #: occupancy or arrival-interleaved timing — so a planned span stays
+    #: exact while ``map_epoch`` holds, whatever completions happen in
+    #: between.  This is the entry ticket to the batched span drain
+    #: (:mod:`repro.sim.events.span`): the kernel only attempts a drain
+    #: when the scheduler sets this ``True``.  Policies whose
+    #: ``select_core`` reads occupancies or timers (flowlet, sprinklers,
+    #: fcfs, topk) must leave it ``False``.
+    batch_static: bool = False
+
+    #: Vectorized sibling of :attr:`batch_commit`:
+    #: ``(flow_id_arr, flow_hash_arr, core_arr, occ_arr, t_arr)`` —
+    #: aligned numpy arrays covering one committed span in arrival
+    #: order.  Must be observably equivalent to calling
+    #: :attr:`batch_commit` element-by-element in order, and must not
+    #: bump ``map_epoch`` (a committed span is already dispatched;
+    #: invalidating it retroactively is a contract violation).
+    #: ``occ_arr`` holds the per-packet guard readings when
+    #: :attr:`batch_guard` is set, else ``-1``.  ``None`` means the
+    #: span drain falls back to the scalar path for schedulers with a
+    #: per-packet ``batch_commit``; schedulers with neither hook need
+    #: no span support at all.
+    batch_commit_span: Callable[..., None] | None = None
+
     def __init__(self) -> None:
         self._loads: LoadView | None = None
         #: monotone table-mutation counter (see class docstring)

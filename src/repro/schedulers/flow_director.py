@@ -32,6 +32,10 @@ __all__ = ["FlowDirectorScheduler"]
 class FlowDirectorScheduler(Scheduler):
     """Exact-match flow table + immediate rebind on target overload."""
 
+    #: planned entries are pure table lookups (unknown flows map to the
+    #: -1 sentinel, rebinds hide behind batch_guard): span-drainable
+    batch_static = True
+
     #: plan at most this many arrivals ahead (rebinds bump ``map_epoch``
     #: and throw the planned suffix away, so bound the wasted work)
     _BATCH_SPAN = 8192

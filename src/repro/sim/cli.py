@@ -34,6 +34,7 @@ from repro.net.service import Service, ServiceSet, default_services
 from repro.schedulers.afs import AFSScheduler
 from repro.schedulers.base import Scheduler, available_schedulers, make_scheduler
 from repro.sim.config import SimConfig
+from repro.sim.engine import available_engines, resolve_engine
 from repro.sim.generator import HoltWintersParams
 from repro.sim.source import DEFAULT_CHUNK_SIZE, StreamingSource
 from repro.sim.system import simulate
@@ -169,6 +170,10 @@ def _run_comparison(args, workload, config, num_services, duration,
         print(f"[faults] {len(schedule)} events from {args.faults} "
               f"(drain policy: {args.drain_policy})\n")
 
+    engine_spec = resolve_engine(args.engine)
+    if engine_spec.fallback_reason:
+        print(f"[engine] {engine_spec.requested!r} unavailable "
+              f"({engine_spec.fallback_reason}); running {engine_spec.name!r}\n")
     telemetry_dir = Path(args.telemetry) if args.telemetry else None
     rows = []
     for name in args.schedulers:
@@ -181,12 +186,14 @@ def _run_comparison(args, workload, config, num_services, duration,
         if schedule is not None:
             injector = FaultInjector(schedule, drain_policy=args.drain_policy)
         rep = simulate(workload, _make_sched(name, num_services, args.seed),
-                       config, probe=probe, injector=injector)
+                       config, probe=probe, injector=injector,
+                       engine=args.engine)
         if telemetry_dir is not None:
             manifest = RunManifest.capture(
                 config=config,
                 seed=args.seed,
                 scheduler=name,
+                engine=engine_spec.name,
                 trace=trace_label,
                 utilisation=args.utilisation,
                 duration_ms=args.duration_ms,
@@ -279,6 +286,13 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p.add_argument(
         "--drain-policy", choices=("drop", "reassign"), default="drop",
         help="fate of a failing core's queued descriptors (default: drop)",
+    )
+    cmp_p.add_argument(
+        "--engine", choices=available_engines(), default=None,
+        help="event core: heap (scalar oracle, default), calendar "
+             "(batched numpy span drain) or calendar-numba (compiled; "
+             "falls back to calendar when numba is absent). Reports are "
+             "bit-identical across engines; see docs/performance.md",
     )
     cmp_p.add_argument(
         "--stream", action="store_true",

@@ -1,108 +1,130 @@
-"""A minimal discrete-event core: a monotone event heap.
+"""Engine registry: which event core runs the simulation.
 
-Events are ``(time_ns, seq, payload)`` tuples in a binary heap; ``seq``
-is a monotonically increasing tiebreaker so simultaneous events pop in
-insertion order (deterministic) and payloads are never compared.  The
-simulator's hot loop pushes one completion event per packet, so the
-engine is deliberately tuple-based — no Event objects, no allocation
-beyond the tuple itself (per the HPC guidance: keep the inner loop free
-of attribute lookups).
+Historically this module *was* the event queue; the implementation now
+lives in :mod:`repro.sim.events` (``EventQueue`` is re-exported below
+for compatibility) and this module owns **selection**: mapping an
+engine name to a queue class plus an optional span-drain compute
+backend, with graceful degradation when optional dependencies are
+missing.
+
+Registered engines:
+
+========================  =======================  ==================
+name                      event queue              span backend
+========================  =======================  ==================
+``heap``                  binary heap (oracle)     — (scalar/closure)
+``calendar``              calendar queue           numpy (interpreted)
+``calendar-numba``        calendar queue           numba (njit)
+========================  =======================  ==================
+
+``heap`` is the default and the bit-identity oracle: the engines are
+contractually bit-identical (``tests/sim/test_engine_parity.py``), the
+calendar engines are just faster.  ``calendar-numba`` silently
+degrades to the numpy backend when numba is not importable; the
+resolved :class:`EngineSpec` records ``fallback_reason`` so manifests
+and CLIs can report the degradation instead of hiding it.
+
+Selection precedence: explicit name argument > ``REPRO_SIM_ENGINE``
+environment variable > ``"heap"``.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Iterator
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.sim.events.backend import (
+    EngineBackend,
+    NumbaBackend,
+    NumpyBackend,
+    numba_available,
+)
+from repro.sim.events.base import EventQueue, EventSnapshot
+from repro.sim.events.calendar import CalendarEventQueue
 
-__all__ = ["EventQueue"]
+__all__ = [
+    "EventQueue",
+    "EventSnapshot",
+    "EngineSpec",
+    "available_engines",
+    "resolve_engine",
+    "DEFAULT_ENGINE",
+]
+
+DEFAULT_ENGINE = "heap"
+
+_ENGINE_ENV = "REPRO_SIM_ENGINE"
 
 
-class EventQueue:
-    """Time-ordered event heap with deterministic tie-breaking."""
+@dataclass(frozen=True)
+class EngineSpec:
+    """A resolved engine: what will actually run.
 
-    __slots__ = ("_heap", "_seq", "_last_pop_ns", "popped")
+    ``name`` is the engine that runs; ``requested`` what was asked for
+    (they differ only on fallback, with ``fallback_reason`` saying
+    why).  ``queue_cls`` builds event queues; ``span_backend`` is the
+    compute backend for the batched span drain, or None for the
+    scalar-only heap engine.
+    """
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Any]] = []
-        self._seq = 0
-        self._last_pop_ns = -1
-        #: lifetime count of popped events (profiling signal)
-        self.popped = 0
+    name: str
+    requested: str
+    queue_cls: Callable[[], Any]
+    span_backend: EngineBackend | None
+    fallback_reason: str | None = None
 
-    def __len__(self) -> int:
-        return len(self._heap)
+    def make_queue(self) -> Any:
+        return self.queue_cls()
 
-    def __bool__(self) -> bool:
-        return bool(self._heap)
 
-    def push(self, time_ns: int, payload: Any) -> None:
-        """Schedule *payload* at *time_ns*.
+def available_engines() -> tuple[str, ...]:
+    """Engine names accepted by :func:`resolve_engine` (the numba one
+    is always listed; it resolves with a fallback when unavailable)."""
+    return ("heap", "calendar", "calendar-numba")
 
-        Scheduling into the past (before the last popped event) is a
-        causality violation and raises :class:`SimulationError`.
-        """
-        if time_ns < self._last_pop_ns:
-            raise SimulationError(
-                f"event scheduled at {time_ns} ns, before current time "
-                f"{self._last_pop_ns} ns"
+
+def resolve_engine(name: str | None = None) -> EngineSpec:
+    """Map an engine name to an :class:`EngineSpec`.
+
+    ``None`` consults the ``REPRO_SIM_ENGINE`` environment variable and
+    falls back to :data:`DEFAULT_ENGINE`.  Unknown names raise
+    :class:`SimulationError`; a missing numba degrades to the numpy
+    backend with the reason recorded.
+    """
+    requested = name or os.environ.get(_ENGINE_ENV) or DEFAULT_ENGINE
+    if requested == "heap":
+        return EngineSpec(
+            name="heap",
+            requested=requested,
+            queue_cls=EventQueue,
+            span_backend=None,
+        )
+    if requested == "calendar":
+        return EngineSpec(
+            name="calendar",
+            requested=requested,
+            queue_cls=CalendarEventQueue,
+            span_backend=NumpyBackend(),
+        )
+    if requested == "calendar-numba":
+        ok, reason = numba_available()
+        if not ok:
+            return EngineSpec(
+                name="calendar",
+                requested=requested,
+                queue_cls=CalendarEventQueue,
+                span_backend=NumpyBackend(),
+                fallback_reason=reason,
             )
-        heapq.heappush(self._heap, (time_ns, self._seq, payload))
-        self._seq += 1
-
-    def peek_time(self) -> int | None:
-        """Timestamp of the next event, or None when empty."""
-        return self._heap[0][0] if self._heap else None
-
-    @property
-    def heap(self) -> list[tuple[int, int, Any]]:
-        """The raw heap list, for compiled consumers that inline
-        ``heapq.heappop`` and batch the bookkeeping through
-        :meth:`flush_pops`.  Treat as read-and-heappop-only."""
-        return self._heap
-
-    def flush_pops(self, count: int, last_pop_ns: int) -> None:
-        """Record *count* events popped directly off :attr:`heap`, the
-        last at *last_pop_ns*.  Callers must flush before anything that
-        reads :attr:`popped` / :attr:`now_ns` or pushes new events."""
-        self.popped += count
-        self._last_pop_ns = last_pop_ns
-
-    @property
-    def now_ns(self) -> int:
-        """Time of the last popped event (-1 before the first pop) —
-        the earliest instant a new event may be scheduled at."""
-        return self._last_pop_ns
-
-    def pop(self) -> tuple[int, Any]:
-        """Remove and return ``(time_ns, payload)`` of the next event."""
-        if not self._heap:
-            raise SimulationError("pop from an empty event queue")
-        time_ns, _, payload = heapq.heappop(self._heap)
-        self._last_pop_ns = time_ns
-        self.popped += 1
-        return time_ns, payload
-
-    def pop_until(self, horizon_ns: int) -> Iterator[tuple[int, Any]]:
-        """Yield events with ``time <= horizon_ns`` in order.
-
-        The caller may push new events while iterating (a completion
-        starting the next packet); newly pushed events inside the
-        horizon are yielded too.
-        """
-        while self._heap and self._heap[0][0] <= horizon_ns:
-            yield self.pop()
-
-    def clear(self) -> None:
-        """Reset to the freshly constructed state.
-
-        The tie-break counter restarts too: a cleared queue must replay
-        a push sequence with the same (time, seq) pairs as a new one,
-        otherwise two runs sharing a recycled queue would order
-        simultaneous events differently.
-        """
-        self._heap.clear()
-        self._seq = 0
-        self._last_pop_ns = -1
-        self.popped = 0
+        return EngineSpec(
+            name="calendar-numba",
+            requested=requested,
+            queue_cls=CalendarEventQueue,
+            span_backend=NumbaBackend(),
+        )
+    raise SimulationError(
+        f"unknown engine {requested!r}; expected one of "
+        f"{', '.join(available_engines())}"
+    )

@@ -1,0 +1,240 @@
+"""A calendar queue with the exact ``(time_ns, seq)`` total order.
+
+R. Brown's calendar queue hashes events into time buckets ("days") of a
+fixed width; each bucket keeps its events sorted, and the earliest
+pending event is found by comparing bucket heads instead of sifting a
+binary heap.  Two properties make the structure a drop-in replacement
+for :class:`~repro.sim.events.base.EventQueue`:
+
+* **identical ordering contract** — events pop in strict
+  ``(time_ns, seq)`` order with the same monotone-``seq`` tie-breaking,
+  so a calendar run replays a heap run event for event (the hypothesis
+  suite in ``tests/sim/test_events_calendar.py`` pins this against the
+  heapq oracle, ties and mid-stream ``clear()`` included);
+* **cheap "anything due?" peek** — :attr:`next_ref` is a one-element
+  list holding the earliest pending time (or ``_INF``), maintained on
+  every mutation, so the kernel's arrival loop tests
+  ``next_ref[0] <= t`` without a method call (the heap engine gets the
+  same property from ``heap[0][0]``).
+
+The classic calendar-queue win (O(1) amortised operations) matters for
+large event populations; this simulator's population is tiny — one
+completion per busy core plus the fault injector's timed events — so
+the implementation favours exactness and simple invariants: all events
+with the minimum time share one bucket (same time ⇒ same bucket), that
+bucket is sorted, hence its head *is* the global minimum and a pop is a
+bucket-head scan plus a front removal.  The packet-rate win of the
+calendar engines comes from the batched span drain in
+:mod:`repro.sim.events.span`, which bypasses the pending structure
+entirely for in-span completions.
+
+The bucket count adapts (doubling/halving redistributions) so the
+head scan stays proportional to the live population, not to a fixed
+table size.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Any, Iterator
+
+from repro.errors import SimulationError
+from repro.sim.events.base import EventSnapshot
+
+__all__ = ["CalendarEventQueue"]
+
+#: sentinel "no pending event" time (far beyond any simulated horizon)
+_INF = 1 << 62
+
+_MIN_BUCKETS = 8
+
+
+class CalendarEventQueue:
+    """Bucketed time-ordered event queue, heap-contract compatible."""
+
+    __slots__ = (
+        "_buckets",
+        "_nb",
+        "_width",
+        "_size",
+        "_seq",
+        "_last_pop_ns",
+        "popped",
+        "next_ref",
+    )
+
+    def __init__(self, *, width_ns: int = 1024, num_buckets: int = _MIN_BUCKETS) -> None:
+        if width_ns <= 0:
+            raise SimulationError(f"bucket width must be positive, got {width_ns}")
+        if num_buckets < 1:
+            raise SimulationError(f"need at least one bucket, got {num_buckets}")
+        self._buckets: list[list[tuple[int, int, Any]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        self._nb = num_buckets
+        self._width = width_ns
+        self._size = 0
+        self._seq = 0
+        self._last_pop_ns = -1
+        #: lifetime count of popped events (profiling signal)
+        self.popped = 0
+        #: one-element list: earliest pending time_ns, or ``_INF`` when
+        #: empty — closures bind the list once and read ``next_ref[0]``
+        self.next_ref: list[int] = [_INF]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    def _bucket_of(self, time_ns: int) -> list[tuple[int, int, Any]]:
+        return self._buckets[(time_ns // self._width) % self._nb]
+
+    def _rescan_next(self) -> None:
+        """Recompute ``next_ref[0]`` from the bucket heads.
+
+        Same time ⇒ same bucket, so exactly one bucket head attains the
+        minimum time and no seq comparison is needed across buckets.
+        """
+        nxt = _INF
+        for b in self._buckets:
+            if b and b[0][0] < nxt:
+                nxt = b[0][0]
+        self.next_ref[0] = nxt
+
+    def _resize(self, nb: int) -> None:
+        entries = [e for b in self._buckets for e in b]
+        self._nb = nb
+        self._buckets = [[] for _ in range(nb)]
+        width = self._width
+        for e in entries:
+            insort(self._buckets[(e[0] // width) % nb], e)
+
+    # ------------------------------------------------------------------
+    def push(self, time_ns: int, payload: Any) -> None:
+        """Schedule *payload* at *time_ns*.
+
+        Scheduling into the past (before the last popped event) is a
+        causality violation and raises :class:`SimulationError`.
+        """
+        if time_ns < self._last_pop_ns:
+            raise SimulationError(
+                f"event scheduled at {time_ns} ns, before current time "
+                f"{self._last_pop_ns} ns"
+            )
+        # the new seq exceeds every pending one, so on a time tie the
+        # incumbent minimum keeps winning: a plain min suffices
+        insort(self._bucket_of(time_ns), (time_ns, self._seq, payload))
+        self._seq += 1
+        self._size += 1
+        if time_ns < self.next_ref[0]:
+            self.next_ref[0] = time_ns
+        if self._size > 2 * self._nb:
+            self._resize(2 * self._nb)
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the next event, or None when empty."""
+        return self.next_ref[0] if self._size else None
+
+    @property
+    def now_ns(self) -> int:
+        """Time of the last popped event (-1 before the first pop) —
+        the earliest instant a new event may be scheduled at."""
+        return self._last_pop_ns
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return ``(time_ns, payload)`` of the next event."""
+        if not self._size:
+            raise SimulationError("pop from an empty event queue")
+        bucket = self._bucket_of(self.next_ref[0])
+        time_ns, _, payload = bucket.pop(0)
+        self._size -= 1
+        self._last_pop_ns = time_ns
+        self.popped += 1
+        if bucket and bucket[0][0] == time_ns:
+            self.next_ref[0] = time_ns  # more ties pending in place
+        else:
+            self._rescan_next()
+        if self._size < self._nb // 4 and self._nb > _MIN_BUCKETS:
+            self._resize(self._nb // 2)
+        return time_ns, payload
+
+    def pop_until(self, horizon_ns: int) -> Iterator[tuple[int, Any]]:
+        """Yield events with ``time <= horizon_ns`` in order.
+
+        The caller may push new events while iterating (a completion
+        starting the next packet); newly pushed events inside the
+        horizon are yielded too.
+        """
+        while self._size and self.next_ref[0] <= horizon_ns:
+            yield self.pop()
+
+    def clear(self) -> None:
+        """Reset to the freshly constructed state (tie-break counter
+        included — see :meth:`EventQueue.clear`)."""
+        for b in self._buckets:
+            b.clear()
+        self._size = 0
+        self._seq = 0
+        self._last_pop_ns = -1
+        self.popped = 0
+        self.next_ref[0] = _INF
+
+    # -- engine-independent checkpoint form ----------------------------
+    def entries(self) -> list[tuple[int, int, Any]]:
+        """Pending events sorted by ``(time_ns, seq)`` (a copy)."""
+        out = [e for b in self._buckets for e in b]
+        out.sort(key=lambda e: (e[0], e[1]))
+        return out
+
+    def snapshot(self) -> EventSnapshot:
+        """Freeze the queue into an :class:`EventSnapshot`."""
+        return EventSnapshot(
+            entries=tuple(self.entries()),
+            seq=self._seq,
+            last_pop_ns=self._last_pop_ns,
+            popped=self.popped,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: EventSnapshot) -> "CalendarEventQueue":
+        """Rebuild a queue replaying *snap* exactly."""
+        q = cls()
+        q.reset_entries(
+            list(snap.entries),
+            seq=snap.seq,
+            last_pop_ns=snap.last_pop_ns,
+            popped_delta=snap.popped,
+        )
+        return q
+
+    def reset_entries(
+        self,
+        entries: list[tuple[int, int, Any]],
+        *,
+        seq: int,
+        last_pop_ns: int,
+        popped_delta: int,
+    ) -> None:
+        """Replace the pending set wholesale (the span drain's commit).
+
+        See :meth:`EventQueue.reset_entries` for the contract.
+        """
+        for b in self._buckets:
+            b.clear()
+        nb = self._nb
+        while len(entries) > 2 * nb:
+            nb *= 2
+        if nb != self._nb:
+            self._nb = nb
+            self._buckets = [[] for _ in range(nb)]
+        width = self._width
+        for e in entries:
+            insort(self._buckets[(e[0] // width) % nb], e)
+        self._size = len(entries)
+        self._seq = seq
+        self._last_pop_ns = last_pop_ns
+        self.popped += popped_delta
+        self._rescan_next()

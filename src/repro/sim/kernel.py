@@ -72,7 +72,8 @@ import numpy as np
 from repro.errors import ConfigError, SimulationError
 from repro.schedulers.base import Scheduler
 from repro.sim.config import SimConfig
-from repro.sim.engine import EventQueue
+from repro.sim.engine import EngineSpec, EventQueue, EventSnapshot, resolve_engine
+from repro.sim.events.span import RETRY_STRIDE, SpanDriver
 from repro.sim.hooks import HookBus
 from repro.sim.metrics import SimMetrics, SimReport
 from repro.sim.queues import QueueBank
@@ -89,13 +90,21 @@ from repro.sim.workload import Workload
 
 __all__ = ["SimState", "SimKernel", "Checkpoint", "CHECKPOINT_VERSION"]
 
-#: bump when the pickled state layout changes incompatibly
-CHECKPOINT_VERSION = 3
+#: bump when the pickled state layout changes incompatibly.
+#: v4: ``SimState.events`` is serialized as an engine-independent
+#: :class:`~repro.sim.events.base.EventSnapshot`, so a run checkpointed
+#: under one engine resumes bit-identically under another.
+CHECKPOINT_VERSION = 4
 
 #: local-index stride the arrival loop converts to plain Python lists
 #: at a time — bounds resident unboxed columns to O(segment) for any
 #: window size (a whole-window tolist would undo PR 4's memory bounds)
 _SEGMENT = 65_536
+
+#: ceiling for the exponential span-retry backoff: guard-heavy
+#: schedulers in sustained overload settle at one (cheap, bailed)
+#: attempt per ~16k arrivals instead of one per RETRY_STRIDE
+_MAX_RETRY_STRIDE = 16_384
 
 #: cap on how far ahead one assign_batch plan reaches; bounds both the
 #: column's list size and the vector work wasted per epoch bump
@@ -145,8 +154,14 @@ class SimState:
     last_arrival_ns: int = 0
 
     @classmethod
-    def initial(cls, config: SimConfig, source: PacketSource) -> "SimState":
-        """Fresh pre-run state for *config* and *source*."""
+    def initial(
+        cls,
+        config: SimConfig,
+        source: PacketSource,
+        events: EventQueue | None = None,
+    ) -> "SimState":
+        """Fresh pre-run state for *config* and *source*.  *events* is
+        the engine-chosen queue implementation (heap default)."""
         n_cores = config.num_cores
         return cls(
             now_ns=0,
@@ -160,7 +175,7 @@ class SimState:
             flow_last_core=[-1] * source.num_flows,
             flow_migrated=np.zeros(source.num_flows, dtype=bool),
             queues=QueueBank(config.num_cores, config.queue_capacity),
-            events=EventQueue(),
+            events=events if events is not None else EventQueue(),
             metrics=SimMetrics(len(config.services), config.num_cores),
             reorder=ReorderDetector(),
             departures=[],
@@ -252,6 +267,7 @@ class SimKernel:
         *,
         bus: HookBus | None = None,
         vectorized: bool = True,
+        engine: str | EngineSpec | None = None,
         state: SimState | None = None,
         _resumed: bool = False,
         _chunks: list[WorkloadChunk] | None = None,
@@ -281,7 +297,15 @@ class SimKernel:
             concat_chunks(list(self._chunks)) if self._chunks else empty_chunk(0)
         )
         self.bus = bus if bus is not None else HookBus()
-        self.state = state if state is not None else SimState.initial(config, source)
+        #: resolved event-core engine (``repro.sim.engine`` registry)
+        self.engine_spec = (
+            engine if isinstance(engine, EngineSpec) else resolve_engine(engine)
+        )
+        self.state = (
+            state
+            if state is not None
+            else SimState.initial(config, source, self.engine_spec.make_queue())
+        )
         self.injector = None
         self._finished = False
         self._start_packet = None
@@ -301,10 +325,21 @@ class SimKernel:
         # equals _col_epoch.  Never checkpointed — replanning is
         # idempotent by the assign_batch contract.
         self._col: list[int] | None = None
+        self._col_arr: np.ndarray | None = None
         self._col_lo = 0
         self._col_hi = 0
         self._col_epoch = -1
         self._col_plan_li = -1
+        #: nominal service-time column for the live window (set by
+        #: :meth:`_activate`, consumed by the span drain)
+        self._nominal: np.ndarray | None = None
+        #: batched span drain — only engines with a compute backend
+        #: get one; the heap engine stays purely scalar (the oracle)
+        self._span = (
+            SpanDriver(self, self.engine_spec.span_backend)
+            if self.engine_spec.span_backend is not None
+            else None
+        )
         if not _resumed:
             # a restored scheduler is already bound to the restored
             # queue bank (shared pickle graph); re-binding would reset
@@ -423,7 +458,9 @@ class SimKernel:
             self.window = concat_chunks(list(chunks))
         self._start_packet = None
         self._complete_until = None
+        self._nominal = None
         self._col = None
+        self._col_arr = None
         self._col_lo = self._col_hi = 0
         self._col_epoch = -1
         self._col_plan_li = -1
@@ -448,9 +485,12 @@ class SimKernel:
         )
         if out is None:
             self._col = []
+            self._col_arr = None
             self._col_hi = li
         else:
             self._col = out.tolist()
+            # the span drain consumes the un-unboxed array directly
+            self._col_arr = out
             self._col_hi = li + len(self._col)
         self._col_lo = li
         self._col_plan_li = li
@@ -521,6 +561,7 @@ class SimKernel:
             ).astype(np.int64)
         else:
             nominal = np.empty(0, dtype=np.int64)
+        self._nominal = nominal  # consumed by the span drain
         proc_item = nominal.item
         collect_lat = cfg.collect_latencies
         latencies = metrics.latencies_ns
@@ -528,7 +569,6 @@ class SimKernel:
         departures = st.departures
         on_queue_empty = self.bus.dispatcher("queue_empty")
         dispatch_timed = self.bus.dispatcher("timed_event") or _no_timed_handler
-        heap = events.heap
         on_depart = reorder.on_depart
         busy_ns = metrics.busy_ns_per_core
         # per-core FIFO deques, hoisted past QueueBank.__getitem__ and
@@ -536,94 +576,184 @@ class SimKernel:
         # for a bank's whole lifetime, so the bindings stay valid)
         q_items = [q._items for q in queues]
 
-        def start_packet(core: int, pkt: int, t_ns: int) -> None:
-            """Begin service of packet *pkt* (global index) on *core*."""
-            li = pkt - base
-            sid = svc_item(li)
-            fid = flow_item(li)
-            t_proc = proc_item(li)
-            last = flow_last_core[fid]
-            if last >= 0 and last != core:
-                t_proc += fm_pen
-                metrics.flow_migration_events += 1
-                flow_migrated[fid] = True
-            flow_last_core[fid] = core
-            if core_last_service[core] != sid:
-                if core_last_service[core] >= 0:
-                    t_proc += cc_pen
-                    metrics.cold_cache_events += 1
-                core_last_service[core] = sid
-            speed = core_speed[core]
-            if speed != 1.0:  # degraded core (repro.faults CoreSlowdown)
-                t_proc = int(round(t_proc * speed))
-            core_busy[core] = True
-            core_current_pkt[core] = pkt
-            busy_ns[core] += t_proc
-            # inlined events.push: completions are scheduled at
-            # t_ns + t_proc >= t_ns >= the last pop, so the causality
-            # check is vacuous here (the validated push remains on the
-            # injector path)
-            s = events._seq
-            heappush(heap, (t_ns + t_proc, s, (core, pkt)))
-            events._seq = s + 1
+        if isinstance(events, EventQueue):
+            # heap engine: the closures inline heappush/heappop on the
+            # raw heap list with the queue's bookkeeping batched in
+            # locals — the scalar performance floor
+            heap = events.heap
 
-        def complete_until(horizon_ns: int) -> None:
-            """Drain heap events with time <= horizon in time order.
-
-            Pops are inlined (heappop on the raw heap) with the queue's
-            popped/now bookkeeping — and the departed/last-depart
-            metrics — batched in locals; both batches are flushed
-            before any timed-event or queue-empty dispatch, so handlers
-            that push events or read counters see exact state, and at
-            exit, before probes sample.
-            """
-            n_popped = 0
-            n_departed = 0
-            t_done = -1
-            t_dep = -1
-            while heap and heap[0][0] <= horizon_ns:
-                t_done, _, payload = heappop(heap)
-                n_popped += 1
-                core, pkt = payload
-                if core < 0:  # timed platform event, not a completion
-                    events.flush_pops(n_popped, t_done)
-                    n_popped = 0
-                    if n_departed:
-                        metrics.departed += n_departed
-                        metrics.last_depart_ns = t_dep
-                        n_departed = 0
-                    dispatch_timed(pkt, t_done)
-                    continue
-                if killed_pkts and pkt in killed_pkts:
-                    killed_pkts.discard(pkt)  # died with its core
-                    continue
+            def start_packet(core: int, pkt: int, t_ns: int) -> None:
+                """Begin service of packet *pkt* (global index) on *core*."""
                 li = pkt - base
-                n_departed += 1
-                t_dep = t_done  # pops are time-ordered
-                on_depart(flow_item(li), seq_item(li))
-                if collect_lat:
-                    latencies.append(t_done - arr_item(li))
-                if record_dep:
-                    departures.append((flow_item(li), seq_item(li), t_done))
-                qi = q_items[core]
-                if qi:
-                    start_packet(core, qi.popleft(), t_done)
-                else:
-                    core_busy[core] = False
-                    core_current_pkt[core] = -1
-                    if on_queue_empty is not None:
+                sid = svc_item(li)
+                fid = flow_item(li)
+                t_proc = proc_item(li)
+                last = flow_last_core[fid]
+                if last >= 0 and last != core:
+                    t_proc += fm_pen
+                    metrics.flow_migration_events += 1
+                    flow_migrated[fid] = True
+                flow_last_core[fid] = core
+                if core_last_service[core] != sid:
+                    if core_last_service[core] >= 0:
+                        t_proc += cc_pen
+                        metrics.cold_cache_events += 1
+                    core_last_service[core] = sid
+                speed = core_speed[core]
+                if speed != 1.0:  # degraded core (repro.faults CoreSlowdown)
+                    t_proc = int(round(t_proc * speed))
+                core_busy[core] = True
+                core_current_pkt[core] = pkt
+                busy_ns[core] += t_proc
+                # inlined events.push: completions are scheduled at
+                # t_ns + t_proc >= t_ns >= the last pop, so the causality
+                # check is vacuous here (the validated push remains on the
+                # injector path)
+                s = events._seq
+                heappush(heap, (t_ns + t_proc, s, (core, pkt)))
+                events._seq = s + 1
+
+            def complete_until(horizon_ns: int) -> None:
+                """Drain heap events with time <= horizon in time order.
+
+                Pops are inlined (heappop on the raw heap) with the queue's
+                popped/now bookkeeping — and the departed/last-depart
+                metrics — batched in locals; both batches are flushed
+                before any timed-event or queue-empty dispatch, so handlers
+                that push events or read counters see exact state, and at
+                exit, before probes sample.
+                """
+                n_popped = 0
+                n_departed = 0
+                t_done = -1
+                t_dep = -1
+                while heap and heap[0][0] <= horizon_ns:
+                    t_done, _, payload = heappop(heap)
+                    n_popped += 1
+                    core, pkt = payload
+                    if core < 0:  # timed platform event, not a completion
                         events.flush_pops(n_popped, t_done)
                         n_popped = 0
                         if n_departed:
                             metrics.departed += n_departed
                             metrics.last_depart_ns = t_dep
                             n_departed = 0
-                        on_queue_empty(core, t_done)
-            if n_popped:
-                events.flush_pops(n_popped, t_done)
-            if n_departed:
-                metrics.departed += n_departed
-                metrics.last_depart_ns = t_dep
+                        dispatch_timed(pkt, t_done)
+                        continue
+                    if killed_pkts and pkt in killed_pkts:
+                        killed_pkts.discard(pkt)  # died with its core
+                        continue
+                    li = pkt - base
+                    n_departed += 1
+                    t_dep = t_done  # pops are time-ordered
+                    on_depart(flow_item(li), seq_item(li))
+                    if collect_lat:
+                        latencies.append(t_done - arr_item(li))
+                    if record_dep:
+                        departures.append((flow_item(li), seq_item(li), t_done))
+                    qi = q_items[core]
+                    if qi:
+                        start_packet(core, qi.popleft(), t_done)
+                    else:
+                        core_busy[core] = False
+                        core_current_pkt[core] = -1
+                        if on_queue_empty is not None:
+                            events.flush_pops(n_popped, t_done)
+                            n_popped = 0
+                            if n_departed:
+                                metrics.departed += n_departed
+                                metrics.last_depart_ns = t_dep
+                                n_departed = 0
+                            on_queue_empty(core, t_done)
+                if n_popped:
+                    events.flush_pops(n_popped, t_done)
+                if n_departed:
+                    metrics.departed += n_departed
+                    metrics.last_depart_ns = t_dep
+
+        else:
+            # calendar engines: the pending structure is opaque, so the
+            # closures go through the queue's methods with the cheap
+            # ``next_ref`` peek cell standing in for ``heap[0][0]``.
+            # pop() carries its own popped/now bookkeeping, so only the
+            # departed-metrics batch needs flushing around dispatches.
+            # The scalar path matters less here: the span drain in
+            # repro.sim.events.span bypasses these closures for eligible
+            # arrival runs.
+            ev_push = events.push
+            ev_pop = events.pop
+            ev_next = events.next_ref
+
+            def start_packet(core: int, pkt: int, t_ns: int) -> None:
+                """Begin service of packet *pkt* (global index) on *core*."""
+                li = pkt - base
+                sid = svc_item(li)
+                fid = flow_item(li)
+                t_proc = proc_item(li)
+                last = flow_last_core[fid]
+                if last >= 0 and last != core:
+                    t_proc += fm_pen
+                    metrics.flow_migration_events += 1
+                    flow_migrated[fid] = True
+                flow_last_core[fid] = core
+                if core_last_service[core] != sid:
+                    if core_last_service[core] >= 0:
+                        t_proc += cc_pen
+                        metrics.cold_cache_events += 1
+                    core_last_service[core] = sid
+                speed = core_speed[core]
+                if speed != 1.0:  # degraded core (repro.faults CoreSlowdown)
+                    t_proc = int(round(t_proc * speed))
+                core_busy[core] = True
+                core_current_pkt[core] = pkt
+                busy_ns[core] += t_proc
+                ev_push(t_ns + t_proc, (core, pkt))
+
+            def complete_until(horizon_ns: int) -> None:
+                """Drain pending events with time <= horizon in order.
+
+                The departed/last-depart metrics are batched in locals
+                and flushed before any timed-event or queue-empty
+                dispatch and at exit, exactly as the heap closure does.
+                """
+                n_departed = 0
+                t_dep = -1
+                while ev_next[0] <= horizon_ns:
+                    t_done, payload = ev_pop()
+                    core, pkt = payload
+                    if core < 0:  # timed platform event, not a completion
+                        if n_departed:
+                            metrics.departed += n_departed
+                            metrics.last_depart_ns = t_dep
+                            n_departed = 0
+                        dispatch_timed(pkt, t_done)
+                        continue
+                    if killed_pkts and pkt in killed_pkts:
+                        killed_pkts.discard(pkt)  # died with its core
+                        continue
+                    li = pkt - base
+                    n_departed += 1
+                    t_dep = t_done  # pops are time-ordered
+                    on_depart(flow_item(li), seq_item(li))
+                    if collect_lat:
+                        latencies.append(t_done - arr_item(li))
+                    if record_dep:
+                        departures.append((flow_item(li), seq_item(li), t_done))
+                    qi = q_items[core]
+                    if qi:
+                        start_packet(core, qi.popleft(), t_done)
+                    else:
+                        core_busy[core] = False
+                        core_current_pkt[core] = -1
+                        if on_queue_empty is not None:
+                            if n_departed:
+                                metrics.departed += n_departed
+                                metrics.last_depart_ns = t_dep
+                                n_departed = 0
+                            on_queue_empty(core, t_done)
+                if n_departed:
+                    metrics.departed += n_departed
+                    metrics.last_depart_ns = t_dep
 
         self._start_packet = start_packet
         self._complete_until = complete_until
@@ -632,6 +762,20 @@ class SimKernel:
     def active(self) -> bool:
         """The hot loop is compiled for the current window."""
         return self._start_packet is not None
+
+    @property
+    def span_stats(self) -> dict[str, int]:
+        """Batched-drain counters (all zero on the scalar heap engine):
+        spans committed, attempts bailed to the scalar path, and
+        packets dispatched through committed spans."""
+        s = self._span
+        if s is None:
+            return {"spans_committed": 0, "spans_bailed": 0, "packets_spanned": 0}
+        return {
+            "spans_committed": s.spans_committed,
+            "spans_bailed": s.spans_bailed,
+            "packets_spanned": s.packets_spanned,
+        }
 
     def start_packet(self, core: int, pkt: int, t_ns: int) -> None:
         """Begin service of *pkt* on *core* (injector reassignment path)."""
@@ -671,8 +815,15 @@ class SimKernel:
         gen_per_service = metrics.generated_per_service
         drop_per_service = metrics.dropped_per_service
         qs = [queues[c] for c in range(n_cores)]
-        ev_heap = st.events.heap  # mutated in place; identity is stable
+        if isinstance(st.events, EventQueue):
+            # mutated in place; identity is stable
+            ev_heap = st.events.heap
+            ev_next = [1 << 62]  # never due: the heap peek is authoritative
+        else:
+            ev_heap = ()  # never truthy: the next_ref peek is authoritative
+            ev_next = st.events.next_ref
         batch_on = self._batch_on
+        span = self._span if batch_on else None
         sel = sched.select_core
         guard = sched.batch_guard
         commit = sched.batch_commit
@@ -689,6 +840,12 @@ class SimKernel:
             seq = win.seq
             n_local = arrival.shape[0]
             li = li0 = st.next_arrival - base
+            # next local index at which to attempt a batched span drain
+            # (-1 disables).  A bailed attempt costs a full interpreted
+            # phase 1, so repeated bails back the retry distance off
+            # exponentially; the first win snaps it back to RETRY_STRIDE.
+            span_li = li if span is not None else -1
+            span_stride = RETRY_STRIDE
             # column-plan locals mirror the kernel attrs; they diverge
             # only through _plan_column, which updates both
             col = self._col
@@ -704,6 +861,24 @@ class SimKernel:
             arr_seg = svc_seg = flow_seg = hash_seg = ()
             try:
                 while li < n_local:
+                    if li == span_li:
+                        li2 = span.attempt(li, t_ns)
+                        # the attempt replans/consumes the column plan:
+                        # resync the mirrored locals unconditionally
+                        col = self._col
+                        cl = self._col_lo
+                        ch = self._col_hi
+                        col_epoch = self._col_epoch
+                        plan_li = self._col_plan_li
+                        if li2 > li:
+                            li = li2
+                            seg_hi = li  # stale: force a segment reload
+                            span_li = li  # a win: try to continue batched
+                            span_stride = RETRY_STRIDE
+                            continue
+                        span_li = li + span_stride
+                        if span_stride < _MAX_RETRY_STRIDE:
+                            span_stride *= 2
                     if li >= seg_hi:
                         seg_lo = li
                         seg_hi = li + _SEGMENT
@@ -717,7 +892,10 @@ class SimKernel:
                     t = arr_seg[k]
                     if t > t_ns:
                         break
-                    if ev_heap and ev_heap[0][0] <= t:
+                    if ev_heap:
+                        if ev_heap[0][0] <= t:
+                            complete_until(t)
+                    elif ev_next[0] <= t:
                         complete_until(t)
                     if sample is not None:
                         sample(t)
@@ -931,13 +1109,20 @@ class SimKernel:
                 "chunks": list(self._chunks),
                 "exhausted": self._exhausted,
             }
-        payload = (self.state, self.scheduler, self.injector, extras)
+        st = self.state
+        payload = (st, self.scheduler, self.injector, extras)
+        # v4: the blob stores the engine-independent EventSnapshot, not
+        # the live queue, so any engine can resume any checkpoint
+        live_events = st.events
+        st.events = live_events.snapshot()
         try:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise SimulationError(
                 f"run state is not serializable: {exc}"
             ) from exc
+        finally:
+            st.events = live_events
         return Checkpoint(
             version=CHECKPOINT_VERSION,
             time_ns=self.state.now_ns,
@@ -956,6 +1141,7 @@ class SimKernel:
         probe=None,
         bus: HookBus | None = None,
         vectorized: bool = True,
+        engine: str | None = None,
     ) -> "SimKernel":
         """Rebuild a kernel from *checkpoint* and continue the run.
 
@@ -963,6 +1149,12 @@ class SimKernel:
         planned columns are never serialized and every scheduler's
         batch bookkeeping is committed per dispatched packet, so either
         mode resumes to the same report.
+
+        *engine* need not match either: the v4 blob stores the event
+        set in its engine-independent snapshot form, so a run
+        checkpointed under one engine resumes bit-identically under
+        another (cross-engine both ways; pinned by
+        ``tests/sim/test_engine_parity.py``).
 
         *config* and *workload* must describe the packet sequence the
         checkpointed run used (validated by fingerprint — materialized
@@ -988,6 +1180,9 @@ class SimKernel:
                 "checkpoint was taken against a different workload"
             )
         state, scheduler, injector, extras = pickle.loads(checkpoint.blob)
+        spec = resolve_engine(engine)
+        if isinstance(state.events, EventSnapshot):
+            state.events = spec.queue_cls.from_snapshot(state.events)
         chunks = None
         exhausted = False
         source_arg = workload
@@ -1002,8 +1197,8 @@ class SimKernel:
                 exhausted = extras["exhausted"]
         kernel = cls(
             config, scheduler, source_arg, bus=bus, state=state,
-            vectorized=vectorized, _resumed=True, _chunks=chunks,
-            _exhausted=exhausted,
+            vectorized=vectorized, engine=spec, _resumed=True,
+            _chunks=chunks, _exhausted=exhausted,
         )
         if injector is not None:
             kernel.attach_injector(injector, resumed=True)

@@ -64,8 +64,11 @@ class NetworkProcessorSim:
         injector=None,
         *,
         vectorized: bool = True,
+        engine: str | None = None,
     ) -> None:
-        self.kernel = SimKernel(config, scheduler, workload, vectorized=vectorized)
+        self.kernel = SimKernel(
+            config, scheduler, workload, vectorized=vectorized, engine=engine
+        )
         self.config = config
         self.scheduler = scheduler
         self.workload = workload
@@ -114,6 +117,7 @@ def simulate(
     injector=None,
     *,
     vectorized: bool = True,
+    engine: str | None = None,
 ) -> SimReport:
     """Convenience one-shot: run *scheduler* on *workload* (a
     materialized :class:`Workload` or a streaming
@@ -122,8 +126,11 @@ def simulate(
     ``vectorized=False`` forces the per-packet scalar scheduling path;
     the report is bit-identical either way (the equivalence suite pins
     this), so the flag only matters for benchmarking both paths.
+    *engine* picks the event core (see
+    :func:`repro.sim.engine.resolve_engine`); reports are bit-identical
+    across engines too — the engines trade speed, never outcomes.
     """
     return NetworkProcessorSim(
         config or SimConfig(), scheduler, workload, probe=probe,
-        injector=injector, vectorized=vectorized,
+        injector=injector, vectorized=vectorized, engine=engine,
     ).run()
