@@ -13,6 +13,15 @@ first scorecard.  Every cell runs in a fresh subprocess
 reports the best of several rounds, so the numbers are comparable
 across commits on the same box.
 
+Since schema ``repro.bench_kernel/3`` every cell records ``shards``
+(1 = single-process) and the grid adds sharded cells: hash-static cut
+across worker processes on the 8-core platform, and the 120-core /
+8-service scale scenario driven through ``repro.sim.sharding``.  The
+scale cell's aggregate throughput multiplies with *physical* cores; on
+a single-CPU runner the shards time-share one core and the cell
+documents that honestly in its ``note`` instead of near-linear scaling
+(see docs/performance.md, Sharded scaling).
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_report.py            # full
@@ -34,7 +43,7 @@ import sys
 from pathlib import Path
 
 _CHILD = r"""
-import json, sys, time
+import json, os, sys, time
 
 def peak_rss_kib():
     try:
@@ -47,9 +56,11 @@ def peak_rss_kib():
     import resource
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
-scheduler, source_kind, vectorized, packets, rounds, engine = (
+(scheduler, source_kind, vectorized, packets, rounds, engine, shards,
+ workers, num_cores, num_services) = (
     sys.argv[1], sys.argv[2], sys.argv[3] == "1", int(sys.argv[4]),
-    int(sys.argv[5]), sys.argv[6] or None,
+    int(sys.argv[5]), sys.argv[6] or None, int(sys.argv[7]),
+    int(sys.argv[8]), int(sys.argv[9]), int(sys.argv[10]),
 )
 
 from repro import units
@@ -66,25 +77,29 @@ from repro.trace.synthetic import preset_trace
 
 engine_spec = resolve_engine(engine)
 
-RATE = 8e6  # offered pps (HoltWinters level)
-trace = preset_trace("caida-1", num_packets=packets)
-params = [HoltWintersParams(a=RATE)]
+RATE = 8e6  # offered pps (HoltWinters level, summed over services)
+trace = preset_trace("caida-1", num_packets=max(1, packets // num_services))
+services = ServiceSet([
+    Service(i, f"svc{i}", units.us(0.5)) for i in range(num_services)
+])
+traces = [trace] * num_services
+params = [HoltWintersParams(a=RATE / num_services)] * num_services
 duration = max(1, int(round(packets / RATE * units.SEC)))
 config = SimConfig(
-    num_cores=8,
-    services=ServiceSet([Service(0, "ip-forward", units.us(0.5))]),
+    num_cores=num_cores,
+    services=services,
     collect_latencies=False,
 )
 
 def make_sched():
     if scheduler == "laps":
-        return LAPSScheduler(LAPSConfig(num_services=1), rng=7)
+        return LAPSScheduler(LAPSConfig(num_services=num_services), rng=7)
     return make_scheduler(scheduler)
 
 def make_workload():
     if source_kind == "streamed":
-        return StreamingSource([trace], params, duration, seed=0)
-    return build_workload([trace], params, duration_ns=duration, seed=0)
+        return StreamingSource(traces, params, duration, seed=0)
+    return build_workload(traces, params, duration_ns=duration, seed=0)
 
 workload = make_workload()
 best_pps, generated = 0.0, 0
@@ -92,7 +107,8 @@ for _ in range(rounds):
     # the kernel clones a source argument, so one object seeds all rounds
     t0 = time.perf_counter()
     report = simulate(workload, make_sched(), config, vectorized=vectorized,
-                      engine=engine)
+                      engine=engine, shards=shards if shards > 1 else None,
+                      shard_workers=workers)
     dt = time.perf_counter() - t0
     generated = report.generated
     best_pps = max(best_pps, report.generated / dt)
@@ -105,6 +121,7 @@ json.dump(
         "engine": engine_spec.name,
         "engine_requested": engine_spec.requested,
         "engine_fallback": engine_spec.fallback_reason,
+        "cpus": os.cpu_count(),
     },
     sys.stdout,
 )
@@ -113,7 +130,8 @@ json.dump(
 
 def _run_cell(
     scheduler: str, source_kind: str, vectorized: bool, packets: int,
-    rounds: int, engine: str | None = None,
+    rounds: int, engine: str | None = None, shards: int = 1,
+    workers: int = 0, num_cores: int = 8, num_services: int = 1,
 ) -> dict:
     src_dir = Path(__file__).resolve().parent.parent / "src"
     env = dict(os.environ)
@@ -124,13 +142,15 @@ def _run_cell(
         [
             sys.executable, "-c", _CHILD, scheduler, source_kind,
             "1" if vectorized else "0", str(packets), str(rounds),
-            engine or "",
+            engine or "", str(shards), str(workers), str(num_cores),
+            str(num_services),
         ],
         capture_output=True, text=True, env=env, check=True,
     )
     cell = json.loads(out.stdout.strip().splitlines()[-1])
     cell.update(
-        scheduler=scheduler, source=source_kind, vectorized=vectorized
+        scheduler=scheduler, source=source_kind, vectorized=vectorized,
+        shards=shards, num_cores=num_cores, num_services=num_services,
     )
     return cell
 
@@ -147,46 +167,76 @@ def main(argv: list[str] | None = None) -> int:
     quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
     packets = 20_000 if quick else 200_000
     rounds = 1 if quick else 3
+    # the 120-core/8-service scale scenario: full size aims at the
+    # 1e8-packet regime but is wall-clock bound, not memory bound, so
+    # the scorecard samples it (streamed shards keep RSS at O(chunk);
+    # throughput per packet is flat beyond ~1e5 packets per shard)
+    scale_packets = 40_000 if quick else 400_000
+    cpus = os.cpu_count() or 1
 
     # the grid: scheduler zoo x engines on the vectorized path, plus
     # the two historical scalar-floor cells (vectorized=False, heap) —
     # those MUST NOT regress relative to earlier scorecards.
     schedulers = ("hash-static", "rss-static", "adaptive-hash", "flowlet",
                   "laps")
-    grid: list[tuple[str, str, bool, str | None]] = []
+    grid: list[dict] = []
     for scheduler in schedulers:
         for source_kind in ("materialized", "streamed"):
             engines = ("heap", "calendar", "calendar-numba") \
                 if source_kind == "materialized" else ("heap", "calendar")
             for engine in engines:
-                grid.append((scheduler, source_kind, True, engine))
+                grid.append(dict(scheduler=scheduler, source_kind=source_kind,
+                                 vectorized=True, engine=engine))
     for scheduler in ("hash-static", "laps"):
-        grid.append((scheduler, "materialized", False, "heap"))
+        grid.append(dict(scheduler=scheduler, source_kind="materialized",
+                         vectorized=False, engine="heap"))
+    # sharded cells: the 8-core platform cut 2 ways (directly comparable
+    # with the single-process hash-static cells above), then the
+    # 120-core/8-service scale scenario sharded 8 ways
+    grid.append(dict(scheduler="hash-static", source_kind="streamed",
+                     vectorized=True, engine=None, shards=2, workers=2))
+    grid.append(dict(scheduler="hash-static", source_kind="streamed",
+                     vectorized=True, engine=None, shards=8, workers=0,
+                     num_cores=120, num_services=8,
+                     packets=scale_packets))
 
     results = []
-    for scheduler, source_kind, vectorized, engine in grid:
+    for spec in grid:
         cell = _run_cell(
-            scheduler, source_kind, vectorized, packets, rounds,
-            engine=engine,
+            spec["scheduler"], spec["source_kind"], spec["vectorized"],
+            spec.get("packets", packets), rounds,
+            engine=spec.get("engine"), shards=spec.get("shards", 1),
+            workers=spec.get("workers", 0),
+            num_cores=spec.get("num_cores", 8),
+            num_services=spec.get("num_services", 1),
         )
+        if spec.get("shards", 1) > 1:
+            cell["note"] = (
+                "aggregate of all shards; scales with physical cores — "
+                f"this runner has {cpus} CPU(s)"
+                + (", so shards time-share one core" if cpus <= 1 else "")
+            )
         results.append(cell)
         note = f" (fallback: {cell['engine_fallback']})" \
             if cell.get("engine_fallback") else ""
         print(
-            f"{scheduler:14s} {source_kind:12s} "
-            f"vectorized={str(vectorized):5s} "
+            f"{cell['scheduler']:14s} {cell['source']:12s} "
+            f"vectorized={str(cell['vectorized']):5s} "
             f"engine={cell['engine_requested'] or 'default':14s} "
+            f"shards={cell['shards']:<3d} cores={cell['num_cores']:<4d} "
             f"{cell['pkts_per_sec']:>12,.0f} pkts/s  "
             f"rss {cell['peak_rss_mb']:.1f} MiB{note}"
         )
 
     doc = {
-        "schema": "repro.bench_kernel/2",
+        "schema": "repro.bench_kernel/3",
         "generated_by": "benchmarks/bench_report.py",
         "quick": quick,
         "packets": packets,
+        "scale_packets": scale_packets,
         "rounds": rounds,
         "num_cores": 8,
+        "cpus": cpus,
         "python": sys.version.split()[0],
         "results": results,
     }

@@ -61,12 +61,13 @@ class CoreAllocator:
         num_services: int,
         idle_threshold_ns: int,
         busy_occupancy: int = 4,
+        owners: list[int] | None = None,
     ) -> None:
         if num_cores <= 0:
             raise ConfigError(f"need at least one core, got {num_cores}")
         if num_services <= 0:
             raise ConfigError(f"need at least one service, got {num_services}")
-        if num_cores < num_services:
+        if owners is None and num_cores < num_services:
             raise ConfigError(
                 f"{num_cores} cores cannot cover {num_services} services "
                 "(every service needs at least one)"
@@ -82,17 +83,38 @@ class CoreAllocator:
         self.idle_threshold_ns = idle_threshold_ns
         self.busy_occupancy = busy_occupancy
         self._owner: list[int] = []
-        # equal division, remainder to the first services (paper: "cores
-        # are equally divided among services" at initialization)
-        base, extra = divmod(num_cores, num_services)
-        for sid in range(num_services):
-            count = base + (1 if sid < extra else 0)
-            self._owner.extend([sid] * count)
+        if owners is None:
+            # equal division, remainder to the first services (paper:
+            # "cores are equally divided among services" at init)
+            base, extra = divmod(num_cores, num_services)
+            for sid in range(num_services):
+                count = base + (1 if sid < extra else 0)
+                self._owner.extend([sid] * count)
+        else:
+            # preset ownership (a shard of a partitioned system): -1
+            # marks a *foreign* core — present in the global core-id
+            # space but owned by another shard, so never surplus, never
+            # a donor, never in any map table here
+            if len(owners) != num_cores:
+                raise ConfigError(
+                    f"owners covers {len(owners)} cores, expected {num_cores}"
+                )
+            for sid in owners:
+                if not (sid == -1 or 0 <= sid < num_services):
+                    raise ConfigError(f"bad owner {sid} in preset ownership")
+            for sid in range(num_services):
+                if sid not in owners:
+                    raise ConfigError(
+                        f"service {sid} has no core in preset ownership"
+                    )
+            self._owner = list(owners)
         self._last_busy_ns: list[int] = [0] * num_cores
         self._offline: set[int] = set()
         self.transfers = 0
         self.internal_reclaims = 0
         self.denied_requests = 0
+        self.cross_shard_grants = 0
+        self.cross_shard_releases = 0
 
     # ------------------------------------------------------------------
     @property
@@ -115,11 +137,20 @@ class CoreAllocator:
         ]
 
     def initial_allocation(self) -> dict[int, list[int]]:
-        """Service -> cores mapping (used to seed the map tables)."""
+        """Service -> cores mapping (used to seed the map tables).
+
+        Foreign cores (preset owner ``-1``) belong to another shard's
+        map tables and are excluded.
+        """
         out: dict[int, list[int]] = {}
         for core, sid in enumerate(self._owner):
-            out.setdefault(sid, []).append(core)
+            if sid >= 0:
+                out.setdefault(sid, []).append(core)
         return out
+
+    def last_busy_ns(self, core_id: int) -> int:
+        """Last instant the core had real backlog (quietness clock)."""
+        return self._last_busy_ns[core_id]
 
     # ------------------------------------------------------------------
     # quietness tracking (driven per routed packet by the scheduler)
@@ -149,6 +180,7 @@ class CoreAllocator:
             (self._last_busy_ns[core], core)
             for core in range(len(self._owner))
             if core not in self._offline
+            and self._owner[core] >= 0  # foreign cores are never ours to give
             and t_ns - self._last_busy_ns[core] >= self.idle_threshold_ns
             and (service_id is None or self._owner[core] == service_id)
         ]
@@ -244,3 +276,45 @@ class CoreAllocator:
         self._owner[core_id] = to_service
         self.transfers += 1
         return CoreTransfer(core_id, donor, to_service)
+
+    # ------------------------------------------------------------------
+    # cross-shard core movement (repro.sim.sharding barrier protocol)
+    # ------------------------------------------------------------------
+    def adopt(self, core_id: int, service_id: int, t_ns: int) -> None:
+        """Take ownership of a *foreign* core granted by another shard.
+
+        The granted core arrives busy-touched (like :meth:`set_online`)
+        so it is not immediately re-donated.
+        """
+        if not 0 <= core_id < len(self._owner):
+            raise SchedulerError(f"no such core: {core_id}")
+        if self._owner[core_id] != -1:
+            raise SchedulerError(
+                f"core {core_id} is owned by service {self._owner[core_id]}, "
+                "not foreign — cannot adopt"
+            )
+        if core_id in self._offline:
+            raise SchedulerError(f"cannot adopt offline core {core_id}")
+        self._owner[core_id] = service_id
+        self.touch(core_id, t_ns)
+        self.cross_shard_grants += 1
+
+    def release(self, core_id: int) -> int:
+        """Surrender an owned core to another shard (owner -> ``-1``).
+
+        Returns the previous owner.  The usual donor guards apply: the
+        core must be online and must not be its service's last online
+        core.
+        """
+        owner = self._owner[core_id]
+        if owner < 0:
+            raise SchedulerError(f"core {core_id} is already foreign")
+        if core_id in self._offline:
+            raise SchedulerError(f"cannot release offline core {core_id}")
+        if len(self.online_cores_of(owner)) <= 1:
+            raise SchedulerError(
+                f"cannot strip service {owner} of its last core"
+            )
+        self._owner[core_id] = -1
+        self.cross_shard_releases += 1
+        return owner

@@ -23,7 +23,7 @@ past ``idle_threshold_ns`` they become surplus and can be donated
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -85,6 +85,12 @@ class LAPSScheduler(Scheduler):
     #: be drained batched
     batch_static = True
 
+    #: the balancer reads live queue occupancy and donates cores across
+    #: services, so a core-partitioned shard cannot reproduce a
+    #: single-process run; LAPS shards *by service* instead, through
+    #: the :meth:`configure_shard` window/mailbox protocol below
+    shard_static = False
+
     def __init__(
         self,
         config: LAPSConfig | None = None,
@@ -107,6 +113,35 @@ class LAPSScheduler(Scheduler):
         self.cores_recovered = 0
         self.emergency_transfers = 0
         self.unrecovered_failures = 0
+        #: preset core ownership for a service-partitioned shard (global
+        #: core ids; ``-1`` marks cores owned by other shards), set by
+        #: :meth:`configure_shard`; ``None`` on single-process runs
+        self.shard_ownership: list[int] | None = None
+        #: first unmet ``request_core`` per service this window
+        #: (service_id -> t_ns of the first denial)
+        self._shard_denials: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def configure_shard(
+        self, num_services: int, ownership: list[int]
+    ) -> None:
+        """Reshape this scheduler into one service-partitioned shard.
+
+        *num_services* is the shard's **local** service count (the
+        shard's packet source relabels its service slice to dense local
+        ids) and *ownership* maps every **global** core id to the local
+        service that starts with it, or ``-1`` for cores owned by other
+        shards.  Must be called before :meth:`bind`.  The presence of
+        this method is what routes LAPS through the sharded runner's
+        service mode — the window/mailbox protocol drives the
+        ``shard_*`` methods below at conservative-time barriers.
+        """
+        if self.is_bound:
+            raise ConfigError("configure_shard must be called before bind()")
+        if num_services <= 0:
+            raise ConfigError(f"num_services must be positive, got {num_services}")
+        self.config = replace(self.config, num_services=num_services)
+        self.shard_ownership = list(ownership)
 
     # ------------------------------------------------------------------
     def bind(self, loads) -> None:
@@ -125,7 +160,8 @@ class LAPSScheduler(Scheduler):
         #: overloaded — the whole Listing 1 balancer runs behind this
         self.batch_guard = cfg.high_threshold
         self.allocator = CoreAllocator(
-            loads.num_cores, cfg.num_services, cfg.idle_threshold_ns
+            loads.num_cores, cfg.num_services, cfg.idle_threshold_ns,
+            owners=self.shard_ownership,
         )
         self.map_tables = {
             sid: ServiceMapTable(sid, cores)
@@ -133,6 +169,7 @@ class LAPSScheduler(Scheduler):
         }
         self.migration.clear()
         self.afd.reset()
+        self._shard_denials.clear()
 
     # ------------------------------------------------------------------
     def select_core(
@@ -290,6 +327,11 @@ class LAPSScheduler(Scheduler):
         transfer = self.allocator.request_core(service_id, t_ns)
         if transfer is None:
             self.core_requests_denied += 1
+            if self.shard_ownership is not None:
+                # a shard that cannot help itself asks the fleet: the
+                # first denial per service this window becomes a
+                # mailbox request at the next barrier
+                self._shard_denials.setdefault(service_id, t_ns)
             return False
         if transfer.is_internal:
             # surplus core of the same service unmarked: it is already
@@ -324,6 +366,11 @@ class LAPSScheduler(Scheduler):
             return
         self.map_epoch += 1
         owner = allocator.set_offline(core_id)
+        if owner < 0:
+            # a foreign core of another shard failed: platform events
+            # are broadcast to every shard so health state stays
+            # consistent, but there is no local map table to fix up
+            return
         self.cores_failed += 1
         self.stale_migrations_dropped += len(self.migration.drop_core(core_id))
         table = self.map_tables[owner]
@@ -347,6 +394,8 @@ class LAPSScheduler(Scheduler):
             return
         self.map_epoch += 1
         owner = allocator.set_online(core_id, t_ns)
+        if owner < 0:
+            return  # foreign core (see on_core_down)
         self.cores_recovered += 1
         table = self.map_tables[owner]
         if core_id not in table:
@@ -378,6 +427,61 @@ class LAPSScheduler(Scheduler):
         return core
 
     # ------------------------------------------------------------------
+    # cross-shard mailbox protocol (repro.sim.sharding, service mode).
+    # The coordinator calls these only at window barriers, when every
+    # shard sits at the same instant T with no arrival in flight.
+    # ------------------------------------------------------------------
+    def shard_unmet_requests(self) -> list[tuple[int, int]]:
+        """Drain this window's unmet demand: ``(first_denial_ns,
+        service_id)`` per starved service, earliest first."""
+        out = sorted((t, sid) for sid, t in self._shard_denials.items())
+        self._shard_denials.clear()
+        return out
+
+    def shard_surplus(self, t_ns: int) -> list[tuple[int, int, int, int]]:
+        """Donation candidates at barrier instant *t_ns*:
+        ``(last_busy_ns, core, owner_service, owner_online_cores)`` for
+        every owned, online, surplus core whose owner would keep at
+        least one other online core.  The shard wrapper further
+        excludes cores that are mid-packet or have queued work — a
+        core handed over at a barrier must carry no in-flight state.
+        """
+        alloc = self.allocator
+        out = []
+        for core in alloc.surplus_cores(t_ns):
+            owner = alloc.owner_of(core)
+            spare = len(alloc.online_cores_of(owner))
+            if spare > 1 and self.map_tables[owner].num_cores > 1:
+                out.append((alloc.last_busy_ns(core), core, owner, spare))
+        return out
+
+    def shard_grant(self, core_id: int, service_id: int, t_ns: int) -> None:
+        """Adopt a core another shard released at this barrier."""
+        self.allocator.adopt(core_id, service_id, t_ns)
+        self.map_tables[service_id].add_core(core_id)
+        self.map_epoch += 1
+
+    def shard_revoke(self, core_id: int, t_ns: int) -> bool:
+        """Release a core to the fleet; False when no longer safe
+        (the matcher works from barrier-time offers, so a refusal
+        means local guards — last-online-core, offline — would be
+        violated and the grant must be dropped)."""
+        alloc = self.allocator
+        owner = alloc.owner_of(core_id)
+        if (
+            owner < 0
+            or alloc.is_offline(core_id)
+            or len(alloc.online_cores_of(owner)) <= 1
+            or self.map_tables[owner].num_cores <= 1
+        ):
+            return False
+        alloc.release(core_id)
+        self.map_tables[owner].remove_core(core_id)
+        self.stale_migrations_dropped += len(self.migration.drop_core(core_id))
+        self.map_epoch += 1
+        return True
+
+    # ------------------------------------------------------------------
     def cores_of(self, service_id: int) -> tuple[int, ...]:
         """Current bucket list of a service (diagnostics)."""
         return self.map_tables[service_id].cores
@@ -397,4 +501,6 @@ class LAPSScheduler(Scheduler):
             "cores_failed": self.cores_failed,
             "cores_recovered": self.cores_recovered,
             "emergency_transfers": self.emergency_transfers,
+            "cross_shard_grants": alloc.cross_shard_grants if alloc else 0,
+            "cross_shard_releases": alloc.cross_shard_releases if alloc else 0,
         }

@@ -37,6 +37,7 @@ from typing import Any, Callable
 
 from repro.sim.config import SimConfig
 from repro.sim.metrics import SimReport
+from repro.sim.source import workload_fingerprint
 from repro.sim.system import simulate
 from repro.util.parallel import parallel_map
 
@@ -86,6 +87,14 @@ class RunSpec:
     #: :func:`repro.sim.engine.resolve_engine`) — results are engine-
     #: independent, so this is a speed knob, not a scenario axis
     engine: str | None = None
+    #: shard the run N ways via :func:`repro.sim.sharding.run_sharded`
+    #: (None/1 = single-process).  All sharded runs of one workload
+    #: group share a single source fingerprint, computed once per
+    #: group — the provenance stamp proving every shard group was cut
+    #: from the identical packet stream.
+    shards: int | None = None
+    shard_workers: int = 0
+    shard_window_ns: int | None = None
     label: dict = field(default_factory=dict)
 
     def build_config(self) -> SimConfig:
@@ -105,6 +114,9 @@ class BatchRun:
 
     spec: RunSpec
     report: SimReport
+    #: the ``manifest_dict()`` of the :class:`~repro.sim.sharding.
+    #: ShardedRun` when the spec ran sharded; None single-process
+    sharding: dict | None = None
 
     @property
     def label(self) -> dict:
@@ -115,12 +127,46 @@ def _group_task(packed: tuple) -> list[tuple[int, BatchRun]]:
     """Run one workload-sharing group (module-level for pickling)."""
     wspec, indexed_specs = packed
     workload = wspec.build()
+    group_fingerprint: str | None = None
     out: list[tuple[int, BatchRun]] = []
     for index, spec in indexed_specs:
         scheduler = spec.scheduler_fn(**spec.scheduler_kwargs)
+        injector = spec.build_injector()
+        if spec.shards is not None and spec.shards > 1:
+            from repro.faults.events import FaultSchedule
+            from repro.sim.sharding import run_sharded
+
+            if group_fingerprint is None:
+                # one content hash per shard group: every sharded run
+                # of this group partitions the identical packet stream,
+                # and the manifest records the shared proof
+                group_fingerprint = workload_fingerprint(workload)
+            schedule = None
+            drain_policy = "drop"
+            if injector is not None:
+                # match single-process simulate(): only platform events
+                # ride the injector; traffic events are the workload
+                # factory's job
+                platform = [
+                    ev for ev in injector.schedule.events
+                    if ev.kind == "platform"
+                ]
+                schedule = FaultSchedule(platform) if platform else None
+                drain_policy = injector.drain_policy
+            run = run_sharded(
+                workload, scheduler, spec.build_config(),
+                shards=spec.shards, workers=spec.shard_workers,
+                window_ns=spec.shard_window_ns, schedule=schedule,
+                drain_policy=drain_policy, engine=spec.engine,
+                source_fingerprint=group_fingerprint,
+            )
+            out.append(
+                (index, BatchRun(spec, run.report, run.manifest_dict()))
+            )
+            continue
         report = simulate(
             workload, scheduler, spec.build_config(),
-            injector=spec.build_injector(), engine=spec.engine,
+            injector=injector, engine=spec.engine,
         )
         out.append((index, BatchRun(spec, report)))
     return out

@@ -240,8 +240,18 @@ def run_tournament(
     trace_packets: int | None = None,
     jobs: int = 1,
     engine: str | None = None,
+    shards: int | None = None,
+    shard_workers: int = 0,
 ) -> dict[str, Any]:
-    """Race the field and return the ``repro.tournament/1`` payload."""
+    """Race the field and return the ``repro.tournament/1`` payload.
+
+    ``shards`` runs each *statically partitionable* scheduler's cells
+    through :func:`repro.sim.sharding.run_sharded` — bit-identical to
+    single-process, so like ``engine`` it is a speed knob, never a
+    scenario axis, and the scorecard is unchanged.  Schedulers whose
+    sharded results would differ (everything non-``shard_static``,
+    including LAPS' windowed services mode) stay single-process.
+    """
     if quick:
         if groups == DEFAULT_GROUPS:  # keep explicit --scenarios intact
             groups = groups[:1]
@@ -254,6 +264,14 @@ def run_tournament(
     for fault in faults:
         _fault_events(fault, duration_ns)  # fail fast on unknown names
     num_services = len(default_services())
+    shardable: dict[str, bool] = {}
+    if shards is not None and shards > 1:
+        shardable = {
+            name: getattr(
+                _zoo_scheduler(name, num_services, 1), "shard_static", False
+            )
+            for name in schedulers
+        }
 
     specs: list[RunSpec] = []
     for group in groups:
@@ -284,6 +302,8 @@ def run_tournament(
                                 else dict(fault=fault, duration_ns=duration_ns)
                             ),
                             engine=engine,
+                            shards=shards if shardable.get(name) else None,
+                            shard_workers=shard_workers,
                             label=dict(
                                 scheduler=name, group=group, fault=fault,
                                 utilisation=util, seed=seed,
@@ -307,6 +327,7 @@ def run_tournament(
             "trace_packets": trace_packets,
             "num_cores": NUM_CORES,
             "quick": quick,
+            "shards": shards,
         },
         "runs": runs,
         "scorecard": _scorecard(runs),
@@ -471,6 +492,15 @@ def main(argv: list[str] | None = None) -> int:
              "engines; see docs/performance.md)",
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run statically partitionable schedulers sharded N ways "
+             "(bit-identical scorecards; see docs/architecture.md)",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, default=0, metavar="N",
+        help="worker processes per sharded run (0 = auto)",
+    )
+    parser.add_argument(
         "--json", metavar="FILE", default="TOURNAMENT.json",
         help="scorecard output path (default: TOURNAMENT.json)",
     )
@@ -489,6 +519,8 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         jobs=args.jobs,
         engine=args.engine,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     validate_scorecard(payload)
     out = Path(args.json)

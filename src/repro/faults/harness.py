@@ -191,15 +191,27 @@ def run_scenario(
     probe_period_ns: int | None = None,
     trace_names: tuple[str, ...] | None = None,
     engine: str | None = None,
-) -> dict[str, tuple[SimReport, ResilienceSummary]]:
+    shards: int | None = None,
+    shard_workers: int = 0,
+    shard_window_ns: int | None = None,
+) -> dict[str, tuple[SimReport, ResilienceSummary | None]]:
     """One scenario under each scheduler; returns per-scheduler
-    ``(report, resilience)`` keyed by scheduler name."""
+    ``(report, resilience)`` keyed by scheduler name.
+
+    ``shards`` ≥ 2 runs each scheduler sharded (see
+    :func:`repro.sim.sharding.run_sharded`); telemetry probes sample
+    global state and cannot attach to a sharded run, so the resilience
+    summary comes back ``None`` — the report's drop/fault counters are
+    still exact.  Only sharding-capable schedulers can run this way
+    (LAPS, and the static maps); the default FCFS/AFS field cannot.
+    """
     if duration_ns is None:
         duration_ns = units.ms(12) if quick else units.ms(40)
     if trace_packets is None:
         trace_packets = 20_000 if quick else 60_000
     if probe_period_ns is None:
         probe_period_ns = max(duration_ns // 160, units.us(10))
+    sharded = shards is not None and shards > 1
     schedule = scenario.schedule(duration_ns)
     workload = apply_traffic_events(
         fault_workload(
@@ -211,11 +223,19 @@ def run_scenario(
     )
     config = SimConfig(num_cores=NUM_CORES, collect_latencies=False)
     num_services = len(config.services)
-    out: dict[str, tuple[SimReport, ResilienceSummary]] = {}
+    out: dict[str, tuple[SimReport, ResilienceSummary | None]] = {}
     for name in schedulers:
         sched = _make_scheduler(name, num_services, seed + 1)
-        probe = TelemetryProbe(probe_period_ns)
         injector = FaultInjector(schedule, drain_policy=scenario.drain_policy)
+        if sharded:
+            report = simulate(
+                workload, sched, config, injector=injector, engine=engine,
+                shards=shards, shard_workers=shard_workers,
+                shard_window_ns=shard_window_ns,
+            )
+            out[name] = (report, None)
+            continue
+        probe = TelemetryProbe(probe_period_ns)
         report = simulate(workload, sched, config, probe=probe,
                           injector=injector, engine=engine)
         resilience = compute_resilience(

@@ -56,6 +56,10 @@ class RunManifest:
     #: the event engine that actually ran ("heap", "calendar",
     #: "calendar-numba"); None for manifests predating the field
     engine: str | None = None
+    #: shard topology + protocol trace of a sharded run (the
+    #: ``manifest_dict()`` of a :class:`~repro.sim.sharding.ShardedRun`);
+    #: None for single-process runs and manifests predating the field
+    sharding: dict | None = None
     config: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
@@ -67,6 +71,7 @@ class RunManifest:
         seed: int | None = None,
         scheduler: str | None = None,
         engine: str | None = None,
+        sharding: dict | None = None,
         **extra,
     ) -> "RunManifest":
         """Snapshot the current environment plus the run's knobs.
@@ -89,6 +94,7 @@ class RunManifest:
             seed=seed,
             scheduler=scheduler,
             engine=engine,
+            sharding=sharding,
             config=config or {},
             extra=extra,
         )
@@ -104,6 +110,7 @@ class RunManifest:
             "seed": self.seed,
             "scheduler": self.scheduler,
             "engine": self.engine,
+            "sharding": dict(self.sharding) if self.sharding else None,
             "config": dict(self.config),
             "extra": dict(self.extra),
         }
@@ -112,7 +119,7 @@ class RunManifest:
     def from_dict(cls, d: dict[str, Any]) -> "RunManifest":
         known = {f: d.get(f) for f in (
             "created_utc", "host", "platform", "python_version",
-            "package_version", "seed", "scheduler", "engine",
+            "package_version", "seed", "scheduler", "engine", "sharding",
         )}
         return cls(**known, config=d.get("config") or {}, extra=d.get("extra") or {})
 

@@ -31,6 +31,12 @@ class AdaptiveHashScheduler(Scheduler):
     #: excluded from the plan), so spans may be drained batched
     batch_static = True
 
+    #: the periodic rebalance moves buckets from *global* per-bucket
+    #: packet counts — a core-partitioned shard sees only its own
+    #: packets, so its rebalances would diverge from a single-process
+    #: run.  Not shardable by core group.
+    shard_static = False
+
     def __init__(
         self,
         buckets_per_core: int = 16,

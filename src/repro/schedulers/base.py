@@ -110,6 +110,28 @@ class Scheduler(ABC):
         #: monotone table-mutation counter (see class docstring)
         self.map_epoch = 0
 
+    @property
+    def shard_static(self) -> bool:
+        """True when the full assignment is a pure static function of
+        the packet columns and the post-``bind`` tables — no occupancy
+        guard, no timer, no rebalance — so a core-partitioned sharded
+        run can reproduce a single-process run bit for bit.
+
+        Derived by default: ``batch_static`` with no ``batch_guard``
+        and a real :meth:`assign_batch`.  Subclasses whose tables move
+        for reasons the derivation cannot see (adaptive-hash's periodic
+        rebalance reads global per-bucket counts) override this with a
+        plain ``shard_static = False`` class attribute; the sharded
+        runner additionally verifies at run end that ``map_epoch``
+        never moved after bind, so a wrong ``True`` fails loudly, never
+        silently.
+        """
+        return (
+            self.batch_static
+            and self.batch_guard is None
+            and type(self).assign_batch is not Scheduler.assign_batch
+        )
+
     # ------------------------------------------------------------------
     def bind(self, loads: LoadView) -> None:
         """Attach to a system; called before the first packet."""

@@ -112,7 +112,24 @@ def _cmd_compare(args) -> int:
     mean_size = float(trace.size_bytes.mean()) if trace.num_packets else \
         TRIMODAL_INTERNET_SIZES.mean
 
-    if args.multiservice:
+    if args.services:
+        # N replicated generic services, each offered the full trace at
+        # its slice of platform capacity — the shape of the large-scale
+        # scenarios (e.g. --cores 120 --services 8 --shards 8)
+        services = ServiceSet([
+            Service(i, f"svc{i}", units.us(0.5))
+            for i in range(args.services)
+        ])
+        per = max(1, args.cores // args.services)
+        traces = [trace] * args.services
+        params = [
+            HoltWintersParams(
+                a=args.utilisation * per * svc.capacity_pps(mean_size)
+            )
+            for svc in services
+        ]
+        num_services = args.services
+    elif args.multiservice:
         services = default_services()
         parts = default_edge_rules().split_trace(trace)
         per = max(1, args.cores // len(services))
@@ -153,7 +170,9 @@ def _cmd_compare(args) -> int:
 
 def _run_comparison(args, workload, config, num_services, duration,
                     trace_label) -> int:
+    sharded = args.shards is not None and args.shards > 1
     schedule = None
+    platform_schedule = None
     if args.faults:
         from repro.faults import (
             FaultInjector,
@@ -167,6 +186,9 @@ def _run_comparison(args, workload, config, num_services, duration,
             workload = TrafficTransformSource(workload, schedule)
         else:
             workload = apply_traffic_events(workload, schedule)
+        platform = [ev for ev in schedule.events if ev.kind == "platform"]
+        if platform:
+            platform_schedule = FaultSchedule(platform)
         print(f"[faults] {len(schedule)} events from {args.faults} "
               f"(drain policy: {args.drain_policy})\n")
 
@@ -174,26 +196,54 @@ def _run_comparison(args, workload, config, num_services, duration,
     if engine_spec.fallback_reason:
         print(f"[engine] {engine_spec.requested!r} unavailable "
               f"({engine_spec.fallback_reason}); running {engine_spec.name!r}\n")
+    if sharded:
+        from repro.sim.sharding import run_sharded
+        window_ns = (
+            units.us(args.shard_window_us)
+            if args.shard_window_us is not None else None
+        )
+        print(f"[shards] {args.shards} shards over "
+              f"{args.shard_workers or 'auto'} worker processes\n")
+        if schedule is not None:
+            # resilience columns come from the telemetry series and
+            # probes sample global state — n/a on sharded runs
+            print("[shards] telemetry probes are single-process only; "
+                  "resilience columns omitted\n")
     telemetry_dir = Path(args.telemetry) if args.telemetry else None
+    resilience_cols = schedule is not None and not sharded
     rows = []
     for name in args.schedulers:
         probe = None
-        if telemetry_dir is not None or schedule is not None:
+        if not sharded and (telemetry_dir is not None or schedule is not None):
             # fault resilience is computed from the telemetry series,
             # so --faults implies a probe even without --telemetry
             probe = TelemetryProbe(units.us(args.probe_period_us))
-        injector = None
-        if schedule is not None:
-            injector = FaultInjector(schedule, drain_policy=args.drain_policy)
-        rep = simulate(workload, _make_sched(name, num_services, args.seed),
-                       config, probe=probe, injector=injector,
-                       engine=args.engine)
+        sched = _make_sched(name, num_services, args.seed)
+        sharding_block = None
+        if sharded:
+            run = run_sharded(
+                workload, sched, config,
+                shards=args.shards, workers=args.shard_workers,
+                window_ns=window_ns, schedule=platform_schedule,
+                drain_policy=args.drain_policy, engine=args.engine,
+            )
+            rep = run.report
+            sharding_block = run.manifest_dict()
+        else:
+            injector = None
+            if schedule is not None:
+                injector = FaultInjector(
+                    schedule, drain_policy=args.drain_policy
+                )
+            rep = simulate(workload, sched, config, probe=probe,
+                           injector=injector, engine=args.engine)
         if telemetry_dir is not None:
             manifest = RunManifest.capture(
                 config=config,
                 seed=args.seed,
                 scheduler=name,
                 engine=engine_spec.name,
+                sharding=sharding_block,
                 trace=trace_label,
                 utilisation=args.utilisation,
                 duration_ms=args.duration_ms,
@@ -204,8 +254,12 @@ def _run_comparison(args, workload, config, num_services, duration,
                 telemetry_dir / name, report=rep, manifest=manifest,
                 probe=probe, csv_mirror=args.telemetry_csv,
             )
-            print(f"[telemetry] {name}: {probe.num_samples} samples -> "
-                  f"{paths['series'].parent}")
+            if probe is not None:
+                print(f"[telemetry] {name}: {probe.num_samples} samples -> "
+                      f"{paths['series'].parent}")
+            else:
+                print(f"[telemetry] {name}: manifest + report -> "
+                      f"{paths['report'].parent} (no series: sharded)")
         row = [
             name, rep.dropped, f"{rep.drop_fraction:.2%}",
             rep.out_of_order, f"{rep.ooo_fraction:.3%}",
@@ -213,7 +267,7 @@ def _run_comparison(args, workload, config, num_services, duration,
             rep.flow_migration_events,
             f"{rep.latency_ns['p99'] / 1e3:.0f}",
         ]
-        if schedule is not None:
+        if resilience_cols:
             res = compute_resilience(
                 probe.records, schedule, scheduler=name,
                 arrivals_end_ns=duration,
@@ -224,12 +278,16 @@ def _run_comparison(args, workload, config, num_services, duration,
                 "yes" if res.recovered else "no",
                 None if rec is None else f"{rec / 1e6:.2f}",
             ]
+        elif schedule is not None:
+            row += [rep.fault_dropped]
         rows.append(row)
     headers = ["scheduler", "dropped", "drop %", "ooo", "ooo %", "cold %",
                "migrations", "p99 us"]
-    if schedule is not None:
+    if resilience_cols:
         headers += ["fault drops", "post ooo", "remapped", "recovered",
                     "recover ms"]
+    elif schedule is not None:
+        headers += ["fault drops"]
     print(format_table(headers, rows, title="scheduler comparison"))
     return 0
 
@@ -262,6 +320,12 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p.add_argument("--multiservice", action="store_true",
                        help="classify into the 4 edge-router services")
     cmp_p.add_argument(
+        "--services", type=int, default=0, metavar="N",
+        help="run N replicated generic services instead (overrides "
+             "--multiservice; pairs with --cores/--shards for "
+             "large-scale scenarios)",
+    )
+    cmp_p.add_argument(
         "--schedulers", nargs="+", default=["hash-static", "afs", "laps"],
         choices=available_schedulers(),
     )
@@ -293,6 +357,22 @@ def main(argv: list[str] | None = None) -> int:
              "(batched numpy span drain) or calendar-numba (compiled; "
              "falls back to calendar when numba is absent). Reports are "
              "bit-identical across engines; see docs/performance.md",
+    )
+    cmp_p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the system N ways across worker processes "
+             "(static-map schedulers: bit-identical to single-process; "
+             "laps: deterministic in seed/window/shards; see "
+             "docs/architecture.md, Sharded execution)",
+    )
+    cmp_p.add_argument(
+        "--shard-workers", type=int, default=0, metavar="N",
+        help="worker processes for --shards (0 = auto, REPRO_JOBS aware)",
+    )
+    cmp_p.add_argument(
+        "--shard-window-us", type=float, default=None,
+        help="services-mode barrier window in microseconds "
+             "(default 1000; only laps uses it)",
     )
     cmp_p.add_argument(
         "--stream", action="store_true",

@@ -373,6 +373,12 @@ class SimKernel:
     def finished(self) -> bool:
         return self._finished
 
+    @property
+    def arrivals_pending(self) -> bool:
+        """An undispatched arrival exists (may pull a source chunk to
+        find out — deterministic and idempotent)."""
+        return self._peek_arrival_ns() is not None
+
     # -- hook attachment -----------------------------------------------
     def attach_probe(self, probe) -> None:
         """Register a periodic sampler on the bus.
@@ -1047,13 +1053,12 @@ class SimKernel:
         # anything still in flight past the drain bound is abandoned
         # unscored (counted as neither departed nor dropped)
 
-    def run(self) -> SimReport:
-        """Advance to completion (arrivals, then drain) and report.
+    def run_arrivals(self) -> int:
+        """Advance through every remaining arrival (no drain).
 
-        Continues from wherever previous ``step``/``run_until`` calls —
-        or a restored checkpoint — left the state.  Advances one window
-        at a time, so a streamed source never materializes beyond the
-        live chunks.
+        Returns the last arrival instant dispatched so far — the
+        sharded coordinator gathers these across shards to agree on the
+        *global* last arrival before anyone drains (see :meth:`finish`).
         """
         if self._finished:
             raise SimulationError("kernel already finished")
@@ -1064,8 +1069,34 @@ class SimKernel:
             # straddle the chunk boundary)
             horizon = int(self.window.arrival_ns[-1])
             self.run_until(max(horizon, st.now_ns))
+        return st.last_arrival_ns
+
+    def finish(self, last_arrival_ns: int | None = None) -> SimReport:
+        """Drain and finalize (arrivals must be exhausted by the caller).
+
+        *last_arrival_ns* overrides the drain horizon's anchor when it
+        is later than this kernel's own last arrival: a shard of a
+        partitioned run stops receiving packets before the full system
+        does, but must keep draining until ``global_last + drain_ns``
+        so its departures are scored over the same window a
+        single-process run would use.
+        """
+        st = self.state
+        if last_arrival_ns is not None and int(last_arrival_ns) > st.last_arrival_ns:
+            st.last_arrival_ns = int(last_arrival_ns)
         self._drain()
         return self.finalize()
+
+    def run(self) -> SimReport:
+        """Advance to completion (arrivals, then drain) and report.
+
+        Continues from wherever previous ``step``/``run_until`` calls —
+        or a restored checkpoint — left the state.  Advances one window
+        at a time, so a streamed source never materializes beyond the
+        live chunks.
+        """
+        self.run_arrivals()
+        return self.finish()
 
     def finalize(self) -> SimReport:
         """Freeze the metrics into the immutable report (once)."""

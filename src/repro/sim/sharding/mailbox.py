@@ -1,0 +1,97 @@
+"""Cross-shard mailbox: the only coupling between service shards.
+
+At each window barrier every shard reports the ``request_core()``
+denials its services accumulated (one per service, earliest first) and
+offers the surplus cores it could donate.  :func:`resolve_grants`
+matches them globally with the same preferences the single-process
+allocator uses — earliest request first, longest-quiet core first —
+under the usual donor guards.  The matching is a pure function of the
+sorted inputs, which is what makes a sharded LAPS run deterministic
+for a fixed (seed, window, shard count) regardless of worker count or
+scheduling jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CoreRequest", "CoreOffer", "CoreGrant", "resolve_grants"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreRequest:
+    """A service's unmet ``request_core`` (earliest denial in the
+    window; ``service`` is shard-local)."""
+
+    t_ns: int
+    shard: int
+    service: int
+
+
+@dataclass(frozen=True, slots=True)
+class CoreOffer:
+    """A donatable surplus core.  ``service`` is the donor's local
+    service id; ``online_owned`` is how many online cores that service
+    holds (donor budget — it must keep at least two to give one)."""
+
+    last_busy_ns: int
+    shard: int
+    core: int
+    service: int
+    online_owned: int
+
+
+@dataclass(frozen=True, slots=True)
+class CoreGrant:
+    """A resolved transfer: ``core`` moves from the donor shard's map
+    tables into the recipient shard's at the barrier."""
+
+    core: int
+    donor_shard: int
+    donor_service: int
+    recipient_shard: int
+    recipient_service: int
+
+
+def resolve_grants(
+    requests: list[CoreRequest],
+    offers: list[CoreOffer],
+) -> list[CoreGrant]:
+    """Match requests to offers; at most one grant per (shard, service)
+    per barrier, a donor service always keeps at least one online core
+    (the allocator's guard), and a shard never
+    "donates" to itself (its own surplus was already reachable through
+    the local allocator during the window)."""
+    pending = sorted(requests, key=lambda r: (r.t_ns, r.shard, r.service))
+    pool = sorted(offers, key=lambda o: (o.last_busy_ns, o.shard, o.core))
+    budget: dict[tuple[int, int], int] = {}
+    for o in pool:
+        budget.setdefault((o.shard, o.service), o.online_owned)
+    taken: set[int] = set()
+    granted: set[tuple[int, int]] = set()
+    out: list[CoreGrant] = []
+    for req in pending:
+        key = (req.shard, req.service)
+        if key in granted:
+            continue
+        for offer in pool:
+            if offer.core in taken or offer.shard == req.shard:
+                continue
+            if budget[(offer.shard, offer.service)] < 2:
+                # the allocator's donor guard: a service is never
+                # stripped of its last online core
+                continue
+            budget[(offer.shard, offer.service)] -= 1
+            taken.add(offer.core)
+            granted.add(key)
+            out.append(
+                CoreGrant(
+                    core=offer.core,
+                    donor_shard=offer.shard,
+                    donor_service=offer.service,
+                    recipient_shard=req.shard,
+                    recipient_service=req.service,
+                )
+            )
+            break
+    return out

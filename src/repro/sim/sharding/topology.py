@@ -1,0 +1,125 @@
+"""Shard topology: how the simulated system is cut into partitions.
+
+Both modes use contiguous equal division with the remainder going to
+the first groups — the same rule :class:`~repro.core.allocator.
+CoreAllocator` uses to seed core ownership, which is what makes the
+service-mode ownership below agree with what a single-process LAPS
+bind would have produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["ShardTopology", "plan_topology"]
+
+
+def _equal_division(n: int, groups: int) -> list[list[int]]:
+    """Split ``range(n)`` into *groups* contiguous blocks, remainder to
+    the first blocks (every block non-empty)."""
+    out: list[list[int]] = []
+    base, extra = divmod(n, groups)
+    start = 0
+    for g in range(groups):
+        count = base + (1 if g < extra else 0)
+        out.append(list(range(start, start + count)))
+        start += count
+    return out
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The partition plan of one sharded run (recorded in manifests).
+
+    ``core_groups[k]`` / ``service_groups[k]`` are the **global** core
+    and service ids shard *k* starts with.  In cores mode every shard
+    serves all services (its packets just happen to target its core
+    group); in services mode the core groups are the initial ownership
+    — donation moves cores between shards at runtime.
+    """
+
+    mode: str  # "cores" | "services"
+    num_shards: int
+    num_cores: int
+    num_services: int
+    core_groups: tuple[tuple[int, ...], ...]
+    service_groups: tuple[tuple[int, ...], ...]
+    window_ns: int | None = None
+
+    def ownership(self, shard_id: int) -> list[int]:
+        """Service-mode preset ownership for one shard: global core id
+        -> **local** service id, or ``-1`` for foreign cores."""
+        local_of = {
+            sid: local for local, sid in enumerate(self.service_groups[shard_id])
+        }
+        owners = [-1] * self.num_cores
+        svc_blocks = _equal_division(self.num_cores, self.num_services)
+        for sid, cores in enumerate(svc_blocks):
+            local = local_of.get(sid)
+            if local is not None:
+                for core in cores:
+                    owners[core] = local
+        return owners
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "num_shards": self.num_shards,
+            "num_cores": self.num_cores,
+            "num_services": self.num_services,
+            "core_groups": [list(g) for g in self.core_groups],
+            "service_groups": [list(g) for g in self.service_groups],
+            "window_ns": self.window_ns,
+        }
+
+
+def plan_topology(
+    mode: str,
+    shards: int,
+    num_cores: int,
+    num_services: int,
+    window_ns: int | None = None,
+) -> ShardTopology:
+    """Cut *num_cores* x *num_services* into *shards* partitions."""
+    if shards < 1:
+        raise ConfigError(f"need at least one shard, got {shards}")
+    if mode == "cores":
+        if shards > num_cores:
+            raise ConfigError(
+                f"{shards} shards cannot partition {num_cores} cores"
+            )
+        core_groups = _equal_division(num_cores, shards)
+        service_groups = [list(range(num_services))] * shards
+    elif mode == "services":
+        if shards > num_services:
+            raise ConfigError(
+                f"{shards} shards cannot partition {num_services} services"
+            )
+        service_groups = _equal_division(num_services, shards)
+        # initial core ownership: the allocator's global equal division
+        # of cores among services, grouped by the shard owning each
+        # service — so shard boundaries land exactly on the single-
+        # process initial allocation
+        svc_blocks = _equal_division(num_cores, num_services)
+        core_groups = [
+            [core for sid in group for core in svc_blocks[sid]]
+            for group in service_groups
+        ]
+        if any(not g for g in core_groups):
+            raise ConfigError(
+                f"{num_cores} cores over {num_services} services leave "
+                "a shard with no cores"
+            )
+    else:
+        raise ConfigError(f"unknown shard mode {mode!r}")
+    return ShardTopology(
+        mode=mode,
+        num_shards=shards,
+        num_cores=num_cores,
+        num_services=num_services,
+        core_groups=tuple(tuple(g) for g in core_groups),
+        service_groups=tuple(tuple(g) for g in service_groups),
+        window_ns=window_ns,
+    )

@@ -118,6 +118,9 @@ def simulate(
     *,
     vectorized: bool = True,
     engine: str | None = None,
+    shards: int | None = None,
+    shard_workers: int = 0,
+    shard_window_ns: int | None = None,
 ) -> SimReport:
     """Convenience one-shot: run *scheduler* on *workload* (a
     materialized :class:`Workload` or a streaming
@@ -129,7 +132,41 @@ def simulate(
     *engine* picks the event core (see
     :func:`repro.sim.engine.resolve_engine`); reports are bit-identical
     across engines too — the engines trade speed, never outcomes.
+
+    ``shards`` ≥ 2 delegates to :func:`repro.sim.sharding.run_sharded`:
+    the system is partitioned and run over ``shard_workers`` processes
+    (0 = auto), merging per-shard reports exactly — bit-identical for
+    static-map schedulers, deterministic in (seed, window, shards) for
+    LAPS.  Matching single-process semantics, only the injector's
+    *platform* events ride along (traffic events are always the
+    caller's job — apply them to the workload first).  Telemetry probes
+    sample global state and are not supported sharded.
     """
+    if shards is not None and shards > 1:
+        if probe is not None:
+            raise SimulationError(
+                "telemetry probes sample global simulator state and are "
+                "not supported on sharded runs — run single-process, or "
+                "drop the probe"
+            )
+        from repro.faults.events import FaultSchedule
+        from repro.sim.sharding import run_sharded
+
+        schedule = None
+        drain_policy = "drop"
+        if injector is not None:
+            platform = [
+                ev for ev in injector.schedule.events if ev.kind == "platform"
+            ]
+            schedule = FaultSchedule(platform) if platform else None
+            drain_policy = injector.drain_policy
+        return run_sharded(
+            workload, scheduler, config,
+            shards=shards, workers=shard_workers,
+            window_ns=shard_window_ns, schedule=schedule,
+            drain_policy=drain_policy, engine=engine,
+            vectorized=vectorized,
+        ).report
     return NetworkProcessorSim(
         config or SimConfig(), scheduler, workload, probe=probe,
         injector=injector, vectorized=vectorized, engine=engine,

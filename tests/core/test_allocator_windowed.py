@@ -1,0 +1,200 @@
+"""Twin suite: ``request_core`` immediate vs barrier-deferred grants.
+
+The sharded services mode defers cross-service core requests to window
+barriers, where :func:`repro.sim.sharding.mailbox.resolve_grants`
+matches them against offered surplus cores and the transfer executes
+as a ``release``/``adopt`` pair.  These tests pin the twin property
+that makes that safe:
+
+* when no shard boundary separates requester and donor, the windowed
+  protocol resolved at the same instant picks the **same core from the
+  same donor** as an immediate ``request_core`` call — longest-quiet
+  first, donor keeps at least one online core;
+* when a boundary does intervene, the outcome is a pure function of
+  the sorted mailbox contents — permuting requests/offers or re-running
+  the barrier never changes the grants.
+"""
+
+import pytest
+
+from repro.core.allocator import CoreAllocator
+from repro.errors import SchedulerError
+from repro.sim.sharding.mailbox import CoreOffer, CoreRequest, resolve_grants
+
+IDLE = 100
+
+
+def _immediate() -> CoreAllocator:
+    """One allocator holding both services: cores {0, 1} -> service 0,
+    {2, 3} -> service 1; core 3 quiet longest, core 2 next."""
+    alloc = CoreAllocator(4, 2, idle_threshold_ns=IDLE)
+    alloc.touch(0, 1000)
+    alloc.touch(1, 1000)
+    alloc.touch(2, 500)
+    alloc.touch(3, 200)
+    return alloc
+
+
+def _sharded() -> tuple[CoreAllocator, CoreAllocator]:
+    """The same system cut at the service boundary: shard A owns
+    service 0 (cores 0, 1), shard B owns service 1 (cores 2, 3); each
+    sees the other's cores as foreign (owner ``-1``) in the shared
+    global core-id space, with identical quietness history."""
+    a = CoreAllocator(4, 1, idle_threshold_ns=IDLE, owners=[0, 0, -1, -1])
+    b = CoreAllocator(4, 1, idle_threshold_ns=IDLE, owners=[-1, -1, 0, 0])
+    a.touch(0, 1000)
+    a.touch(1, 1000)
+    b.touch(2, 500)
+    b.touch(3, 200)
+    return a, b
+
+
+def _offers_from(alloc: CoreAllocator, shard: int, t_ns: int) -> list[CoreOffer]:
+    return [
+        CoreOffer(
+            last_busy_ns=alloc.last_busy_ns(core),
+            shard=shard,
+            core=core,
+            service=alloc.owner_of(core),
+            online_owned=len(alloc.online_cores_of(alloc.owner_of(core))),
+        )
+        for core in alloc.surplus_cores(t_ns)
+    ]
+
+
+class TestNoBoundary:
+    """Windowed resolution at the same instant == immediate grant."""
+
+    def test_same_core_same_donor(self):
+        t = 1000
+        transfer = _immediate().request_core(0, t)
+        assert transfer is not None and not transfer.is_internal
+
+        shard_a, shard_b = _sharded()
+        grants = resolve_grants(
+            [CoreRequest(t_ns=t, shard=0, service=0)],
+            _offers_from(shard_b, shard=1, t_ns=t),
+        )
+        assert len(grants) == 1
+        grant = grants[0]
+        # both paths strip the longest-quiet core of the other service
+        assert grant.core == transfer.core_id == 3
+        assert grant.donor_shard == 1 and grant.recipient_shard == 0
+
+        shard_b.release(grant.core)
+        shard_a.adopt(grant.core, grant.recipient_service, t)
+        # ownership converges with the single-allocator outcome
+        assert shard_a.owner_of(3) == 0
+        assert shard_b.owner_of(3) == -1
+        assert _immediate_after_grant_owner() == 0
+
+    def test_internal_reclaim_never_reaches_the_mailbox(self):
+        # a service with its own surplus core reclaims it in place;
+        # only *denied* requests become mailbox traffic
+        alloc = _immediate()
+        alloc.touch(0, 0)  # service 0's core 0 is quiet at t=1000 too
+        transfer = alloc.request_core(0, 1000)
+        assert transfer is not None and transfer.is_internal
+        assert transfer.core_id == 0
+
+    def test_donor_keeps_last_online_core_both_paths(self):
+        t = 1000
+        # immediate: service 1 down to one online core -> denied
+        alloc = _immediate()
+        alloc.set_offline(3)
+        assert alloc.request_core(0, t) is None
+
+        # windowed: the last-online-core guard lives in the budget
+        # (online_owned < 2 never donates) and in release() itself
+        _, shard_b = _sharded()
+        shard_b.set_offline(3)
+        grants = resolve_grants(
+            [CoreRequest(t_ns=t, shard=0, service=0)],
+            _offers_from(shard_b, shard=1, t_ns=t),
+        )
+        assert grants == []
+        with pytest.raises(SchedulerError, match="last core"):
+            shard_b.release(2)
+
+
+class TestWithBoundary:
+    """A barrier between request and grant: deterministic resolution."""
+
+    def test_permutation_invariant(self):
+        t = 2000
+        requests = [
+            CoreRequest(t_ns=900, shard=0, service=0),
+            CoreRequest(t_ns=400, shard=2, service=0),
+        ]
+        offers = [
+            CoreOffer(last_busy_ns=500, shard=1, core=2, service=0,
+                      online_owned=3),
+            CoreOffer(last_busy_ns=200, shard=1, core=3, service=0,
+                      online_owned=3),
+            CoreOffer(last_busy_ns=700, shard=1, core=4, service=0,
+                      online_owned=3),
+        ]
+        base = resolve_grants(list(requests), list(offers))
+        assert resolve_grants(requests[::-1], offers[::-1]) == base
+        assert resolve_grants(requests[::-1], offers) == base
+        # earliest request wins the quietest core
+        assert base[0].recipient_shard == 2
+        assert base[0].core == 3
+        assert base[1].recipient_shard == 0
+        assert base[1].core == 2
+
+    def test_budget_spans_one_barrier(self):
+        # a donor offering two of its three online cores may grant only
+        # until it would drop below one spare: budget 3 -> two grants
+        offers = [
+            CoreOffer(last_busy_ns=100, shard=1, core=5, service=0,
+                      online_owned=3),
+            CoreOffer(last_busy_ns=150, shard=1, core=6, service=0,
+                      online_owned=3),
+        ]
+        requests = [
+            CoreRequest(t_ns=10, shard=0, service=0),
+            CoreRequest(t_ns=20, shard=2, service=1),
+        ]
+        grants = resolve_grants(requests, offers)
+        assert [g.core for g in grants] == [5, 6]
+
+        # with only two online cores the second donation would strip
+        # the donor to a single core: exactly one grant resolves
+        tight = [
+            CoreOffer(last_busy_ns=100, shard=1, core=5, service=0,
+                      online_owned=2),
+            CoreOffer(last_busy_ns=150, shard=1, core=6, service=0,
+                      online_owned=2),
+        ]
+        grants = resolve_grants(requests, tight)
+        assert [g.core for g in grants] == [5]
+
+    def test_one_grant_per_service_per_barrier(self):
+        offers = [
+            CoreOffer(last_busy_ns=100, shard=1, core=5, service=0,
+                      online_owned=4),
+            CoreOffer(last_busy_ns=150, shard=1, core=6, service=0,
+                      online_owned=4),
+        ]
+        requests = [
+            CoreRequest(t_ns=10, shard=0, service=0),
+            CoreRequest(t_ns=20, shard=0, service=0),
+        ]
+        grants = resolve_grants(requests, offers)
+        assert len(grants) == 1  # the duplicate waits for the next window
+
+    def test_never_donates_to_own_shard(self):
+        offers = [
+            CoreOffer(last_busy_ns=100, shard=0, core=1, service=1,
+                      online_owned=3),
+        ]
+        requests = [CoreRequest(t_ns=10, shard=0, service=0)]
+        # same-shard relief is request_core's job, not the mailbox's
+        assert resolve_grants(requests, offers) == []
+
+
+def _immediate_after_grant_owner() -> int:
+    alloc = _immediate()
+    transfer = alloc.request_core(0, 1000)
+    return alloc.owner_of(transfer.core_id)

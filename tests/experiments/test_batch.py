@@ -194,3 +194,55 @@ class TestInjectorSupport:
         pooled = run_batch(specs, jobs=2)
         inline = run_batch(specs, jobs=1)
         assert [r.report for r in pooled] == [r.report for r in inline]
+
+
+class TestShardedSpecs:
+    def test_sharded_report_matches_single_process(self):
+        wspec = WorkloadSpec.of(_workload, n=60)
+        single = RunSpec(
+            workload=wspec, scheduler_fn=StaticHashScheduler,
+            config_fn=_config,
+        )
+        sharded = RunSpec(
+            workload=wspec, scheduler_fn=StaticHashScheduler,
+            config_fn=_config, shards=2, shard_workers=1,
+        )
+        runs = run_batch([single, sharded], jobs=1)
+        assert runs[0].report == runs[1].report
+        assert runs[0].sharding is None
+        assert runs[1].sharding["mode"] == "cores"
+        assert runs[1].sharding["num_shards"] == 2
+
+    def test_fingerprint_shared_across_shard_group(self):
+        from repro.sim.source import workload_fingerprint
+
+        wspec = WorkloadSpec.of(_workload, n=48)
+        specs = [
+            RunSpec(
+                workload=wspec, scheduler_fn=StaticHashScheduler,
+                config_fn=_config, shards=2, shard_workers=1,
+                label={"i": i},
+            )
+            for i in range(2)
+        ]
+        runs = run_batch(specs, jobs=1)
+        prints = [r.sharding["source_fingerprint"] for r in runs]
+        # one fingerprint per group, and it is the single-process
+        # workload's content hash — the shards were cut from the
+        # identical stream
+        assert prints[0] == prints[1] == workload_fingerprint(_workload(48))
+
+    def test_sharded_faulted_matches_single_process(self):
+        wspec = WorkloadSpec.of(_workload, n=80)
+        sharded = RunSpec(
+            workload=wspec, scheduler_fn=StaticHashScheduler,
+            config_fn=_config, shards=2, shard_workers=1,
+            injector_fn=_fail_injector,
+            injector_kwargs={"core_id": 0, "at_ns": 2000},
+        )
+        (run,) = run_batch([sharded], jobs=1)
+        expected = simulate(
+            _workload(80), StaticHashScheduler(), _config(),
+            injector=_fail_injector(core_id=0, at_ns=2000),
+        )
+        assert run.report == expected

@@ -55,6 +55,39 @@ class TestCompare:
             main(["compare", "--schedulers", "bogus"])
 
 
+class TestSharded:
+    def test_sharded_row_matches_single_process(self, capsys):
+        args = [
+            "compare", "--trace", "auck-1", "--packets", "5000",
+            "--cores", "4", "--duration-ms", "2",
+            "--schedulers", "hash-static",
+        ]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--shards", "2", "--shard-workers", "1"]) == 0
+        sharded = capsys.readouterr().out
+        assert "[shards] 2 shards" in sharded
+        row = next(
+            line for line in single.splitlines()
+            if line.startswith("hash-static")
+        )
+        assert row in sharded  # the comparison-table row is identical
+
+    def test_generic_services_flag(self, capsys):
+        # --services N replicates a generic service N ways; LAPS then
+        # shards per service group, hash-static per core group
+        rc = main([
+            "compare", "--trace", "caida-1", "--packets", "4000",
+            "--cores", "8", "--duration-ms", "1", "--services", "2",
+            "--schedulers", "hash-static", "laps",
+            "--shards", "2", "--shard-workers", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[shards] 2 shards" in out
+        assert "laps" in out and "hash-static" in out
+
+
 class TestTelemetry:
     def test_telemetry_dump_round_trips(self, tmp_path, capsys):
         from repro.obs import load_run

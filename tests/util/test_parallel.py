@@ -1,10 +1,17 @@
-"""Tests for the process-parallel map helper."""
+"""Tests for the process pool and the parallel map facade."""
 
 import os
 
 import pytest
 
-from repro.util.parallel import ParallelTaskError, default_jobs, parallel_map
+from repro.util.parallel import (
+    ParallelTaskError,
+    ProcessPool,
+    default_jobs,
+    in_pool_worker,
+    parallel_map,
+    shared_pool,
+)
 
 
 def square(x):
@@ -92,6 +99,88 @@ class TestWorkerErrors:
         back = pickle.loads(pickle.dumps(err))
         assert back.item_repr == repr(("T1", 7))
         assert "bad rate" in str(back)
+
+
+def stash(pair):
+    """Drop a value into the worker's module state (sticky-slot probe)."""
+    import repro.util.parallel as mod
+
+    key, value = pair
+    store = getattr(mod, "_test_stash", None)
+    if store is None:
+        store = mod._test_stash = {}
+    if value is not None:
+        store[key] = value
+    return store.get(key)
+
+
+def worker_flag(_x):
+    return in_pool_worker()
+
+
+def nested_map(items):
+    # a pool worker fanning out again must degrade to inline execution
+    return parallel_map(pid_of, items, jobs=4)
+
+
+class TestProcessPool:
+    def test_workers_persist_across_batches(self):
+        with ProcessPool(2) as pool:
+            first = pool.map(pid_of, range(4))
+            second = pool.map(pid_of, range(4))
+        assert set(first) == set(second)  # same processes served both
+        assert os.getpid() not in first
+
+    def test_sticky_slot_keeps_worker_state(self):
+        with ProcessPool(2) as pool:
+            assert pool.call(0, stash, ("k", "v0")) == "v0"
+            pool.call(1, stash, ("k", "v1"))
+            # slot 0 still holds its own value, untouched by slot 1
+            assert pool.call(0, stash, ("k", None)) == "v0"
+            # indexes wrap modulo the pool size
+            assert pool.call(2, stash, ("k", None)) == "v0"
+
+    def test_map_preserves_order(self):
+        with ProcessPool(3) as pool:
+            assert pool.map(square, range(10)) == [x * x for x in range(10)]
+
+    def test_scatter_reports_first_error_and_stays_usable(self):
+        with ProcessPool(2) as pool:
+            with pytest.raises(ParallelTaskError) as err:
+                pool.scatter([(i, explode_on_three, i) for i in range(6)])
+            assert err.value.item_repr == "3"
+            # the failure drained cleanly: the pool still works
+            assert pool.map(square, [5, 6]) == [25, 36]
+
+    def test_worker_env_flag(self):
+        with ProcessPool(1) as pool:
+            assert pool.map(worker_flag, [0]) == [True]
+        assert not in_pool_worker()
+
+    def test_nested_parallel_map_runs_inline(self):
+        with ProcessPool(1) as pool:
+            pids = pool.call(0, nested_map, [1, 2, 3])
+        # all inner tasks ran in the (single) worker process itself
+        assert len(set(pids)) == 1
+        assert os.getpid() not in pids
+
+    def test_shutdown_idempotent_and_rejects_new_work(self):
+        pool = ProcessPool(1)
+        pool.map(square, [2])
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.call(0, square, 2)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPool(0)
+
+    def test_shared_pool_reused_and_grows(self):
+        a = shared_pool(2)
+        assert shared_pool(1) is a  # large enough: reused
+        b = shared_pool(a.size + 1)
+        assert b.size == a.size + 1
 
 
 class TestExperimentsIntegration:
