@@ -258,6 +258,64 @@ def test_epoch_churn_stress(benchmark):
     )
 
 
+def test_laps_calendar_commit_floor(benchmark):
+    """LAPS on the calendar span drain must not lose to the scalar heap
+    oracle.  The batch-native commit path (``AFD.observe_batch`` +
+    ``CoreAllocator.note_load_batch``) is what pays for the span
+    machinery; a silent regression back to per-packet scalar replay
+    shows up here as calendar < heap.  The workload is sized past the
+    span warm-up crossover (the AIMD span cap and column planner
+    amortize over ~100k packets — below that the heap oracle wins on
+    fixed overhead alone, so this test ignores ``REPRO_BENCH_QUICK``),
+    and the engines are interleaved round-by-round so a slow patch on
+    a shared runner hits both equally.  The ``commit_vectorized``
+    capability bit is pinned structurally too — without it the span
+    driver ignores ``batch_commit_span`` entirely."""
+    assert LAPSScheduler.commit_vectorized, (
+        "LAPS lost its commit_vectorized bit — the span driver will "
+        "ignore batch_commit_span and replay batch_commit per packet"
+    )
+    packets = 150_000
+    svc = ServiceSet([Service(0, "ip-forward", units.us(0.5))])
+    trace = preset_trace("caida-1", num_packets=packets)
+    wl = build_workload(
+        [trace], [HoltWintersParams(a=8e6)],
+        duration_ns=int(round(packets / 8e6 * units.SEC)), seed=0,
+    )
+    cfg = SimConfig(num_cores=8, services=svc, collect_latencies=False)
+
+    def one(engine):
+        sched = LAPSScheduler(LAPSConfig(num_services=1), rng=7)
+        t0 = time.perf_counter()
+        rep = simulate(wl, sched, cfg, engine=engine)
+        return rep.generated / (time.perf_counter() - t0), rep
+
+    def run():
+        cal_pps = heap_pps = 0.0
+        cal_rep = heap_rep = None
+        for _ in range(3):  # interleaved: noise drifts hit both engines
+            pps, cal_rep = one("calendar")
+            cal_pps = max(cal_pps, pps)
+            pps, heap_rep = one("heap")
+            heap_pps = max(heap_pps, pps)
+        return cal_pps, cal_rep, heap_pps, heap_rep
+
+    cal_pps, cal_rep, heap_pps, heap_rep = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert cal_rep == heap_rep  # engines trade speed, never outcomes
+    floor = float(os.environ.get("REPRO_BENCH_MIN_PPS", "20000"))
+    assert cal_pps >= floor, (
+        f"LAPS on calendar at {cal_pps:,.0f} simulated pkts/s, below "
+        f"the REPRO_BENCH_MIN_PPS floor of {floor:,.0f}"
+    )
+    assert cal_pps >= heap_pps, (
+        f"LAPS calendar ({cal_pps:,.0f} pkts/s) lost to heap "
+        f"({heap_pps:,.0f} pkts/s) — has the span commit path gone "
+        f"scalar again?"
+    )
+
+
 def test_simulator_event_loop_with_telemetry(benchmark):
     """Same loop with the full default probe battery attached, for a
     direct before/after read of the telemetry cost."""

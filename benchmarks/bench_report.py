@@ -22,6 +22,17 @@ a single-CPU runner the shards time-share one core and the cell
 documents that honestly in its ``note`` instead of near-linear scaling
 (see docs/performance.md, Sharded scaling).
 
+Since schema ``repro.bench_kernel/4`` every single-process cell also
+carries a ``span`` object — the kernel's batched-drain phase breakdown
+for the best round (``plan_ms`` column planning, ``drain_ms`` phase-1
+per-core simulation, ``commit_ms`` phase-2 state commit including the
+scheduler's span commit, plus spans committed/bailed and packets
+dispatched through spans).  On the heap engine only ``plan_ms`` is
+non-zero; sharded cells record ``span: null`` (the kernels live in
+worker processes).  The breakdown shows *where* a scheduler's calendar
+cell spends its time — e.g. whether LAPS is bound by the AFD commit or
+by the drain itself.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_report.py            # full
@@ -71,7 +82,7 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import resolve_engine
 from repro.sim.generator import HoltWintersParams
 from repro.sim.source import StreamingSource
-from repro.sim.system import simulate
+from repro.sim.system import NetworkProcessorSim, simulate
 from repro.sim.workload import build_workload
 from repro.trace.synthetic import preset_trace
 
@@ -102,21 +113,40 @@ def make_workload():
     return build_workload(traces, params, duration_ns=duration, seed=0)
 
 workload = make_workload()
-best_pps, generated = 0.0, 0
+best_pps, generated, span = 0.0, 0, None
 for _ in range(rounds):
     # the kernel clones a source argument, so one object seeds all rounds
     t0 = time.perf_counter()
-    report = simulate(workload, make_sched(), config, vectorized=vectorized,
-                      engine=engine, shards=shards if shards > 1 else None,
-                      shard_workers=workers)
+    if shards > 1:
+        # sharded kernels live in worker processes: no span breakdown
+        report = simulate(workload, make_sched(), config,
+                          vectorized=vectorized, engine=engine,
+                          shards=shards, shard_workers=workers)
+        stats = None
+    else:
+        sim = NetworkProcessorSim(config, make_sched(), workload,
+                                  vectorized=vectorized, engine=engine)
+        report = sim.run()
+        s = sim.kernel.span_stats
+        stats = {
+            "spans_committed": s["spans_committed"],
+            "spans_bailed": s["spans_bailed"],
+            "packets_spanned": s["packets_spanned"],
+            "plan_ms": round(s["plan_ns"] / 1e6, 1),
+            "drain_ms": round(s["drain_ns"] / 1e6, 1),
+            "commit_ms": round(s["commit_ns"] / 1e6, 1),
+        }
     dt = time.perf_counter() - t0
     generated = report.generated
-    best_pps = max(best_pps, report.generated / dt)
+    pps = report.generated / dt
+    if pps > best_pps:
+        best_pps, span = pps, stats
 
 json.dump(
     {
         "pkts_per_sec": round(best_pps, 1),
         "generated": generated,
+        "span": span,
         "peak_rss_mb": round(peak_rss_kib() / 1024.0, 1),
         "engine": engine_spec.name,
         "engine_requested": engine_spec.requested,
@@ -219,6 +249,13 @@ def main(argv: list[str] | None = None) -> int:
         results.append(cell)
         note = f" (fallback: {cell['engine_fallback']})" \
             if cell.get("engine_fallback") else ""
+        span = cell.get("span")
+        if span and span["packets_spanned"]:
+            note += (
+                f"  [plan {span['plan_ms']:.0f} / drain "
+                f"{span['drain_ms']:.0f} / commit {span['commit_ms']:.0f} ms,"
+                f" {span['packets_spanned']:,d} pkts spanned]"
+            )
         print(
             f"{cell['scheduler']:14s} {cell['source']:12s} "
             f"vectorized={str(cell['vectorized']):5s} "
@@ -229,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     doc = {
-        "schema": "repro.bench_kernel/3",
+        "schema": "repro.bench_kernel/4",
         "generated_by": "benchmarks/bench_report.py",
         "quick": quick,
         "packets": packets,

@@ -120,6 +120,13 @@ class LAPSScheduler(Scheduler):
         #: first unmet ``request_core`` per service this window
         #: (service_id -> t_ns of the first denial)
         self._shard_denials: dict[int, int] = {}
+        #: sorted snapshot of the migration table for the vectorized
+        #: plan overlay, cached on ``MigrationTable.epoch`` (same shape
+        #: as the ``ServiceMapTable.lookup_batch`` cache): aligned
+        #: (flow_ids, cores) arrays, rebuilt only after a pin mutation
+        self._pin_epoch = -1
+        self._pin_fids: np.ndarray | None = None
+        self._pin_cores: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def configure_shard(
@@ -256,15 +263,21 @@ class LAPSScheduler(Scheduler):
         mig = self.migration
         if len(mig):
             fids = flow_id[:n]
-            pinned = np.fromiter(mig.flow_ids(), dtype=np.int64, count=len(mig))
-            owner_of = self.allocator.owner_of
-            lookup = mig.lookup
-            for i in np.nonzero(np.isin(fids, pinned))[0].tolist():
-                core = lookup(fids.item(i))
-                if owner_of(core) == sids.item(i):
-                    out[i] = core
-                else:
-                    out[i] = -1  # stale pin: scalar path prunes it
+            if self._pin_epoch != mig.epoch:
+                pairs = np.asarray(mig.items(), dtype=np.int64).reshape(-1, 2)
+                order = np.argsort(pairs[:, 0])
+                self._pin_fids = pairs[order, 0]
+                self._pin_cores = pairs[order, 1]
+                self._pin_epoch = mig.epoch
+            pf = self._pin_fids
+            idx = np.searchsorted(pf, fids)
+            np.minimum(idx, pf.size - 1, out=idx)
+            hit = np.nonzero(pf[idx] == fids)[0]
+            if hit.size:
+                core = self._pin_cores[idx[hit]]
+                live = self.allocator.owner_array()[core] == sids[hit]
+                # stale pins map to -1: the scalar path prunes them
+                out[hit] = np.where(live, core, -1)
         return out
 
     def batch_commit(
@@ -277,23 +290,26 @@ class LAPSScheduler(Scheduler):
         self.afd.observe(flow_id)
         self.allocator.note_load(core, occupancy, t_ns)
 
+    #: :meth:`batch_commit_span` really is batch-native (bulk AFD
+    #: counter merges + a masked last-busy reduction), so the span
+    #: driver may prefer it over its own ``batch_commit`` replay
+    commit_vectorized = True
+
     def batch_commit_span(self, flow_id, flow_hash, core, occ, t_ns) -> None:
         """Vectorized :meth:`batch_commit` for one committed span.
 
-        The AFD sample path and the allocator's quietness bookkeeping
-        are stateful per packet (sampling counters, per-core last-busy
-        times), so this replays them in arrival order — the win over
-        the scalar kernel path is batching the unboxing, not skipping
-        work.  Equivalent to per-element ``batch_commit`` by
-        construction; never bumps ``map_epoch``.
+        The AFD and the allocator are disjoint state, so the per-packet
+        interleaving of ``observe`` / ``note_load`` is immaterial — the
+        span factors into one batch AFD observation
+        (:meth:`~repro.core.afd.AggressiveFlowDetector.observe_batch`,
+        bit-identical to n scalar observes including the sampling RNG
+        stream) and one masked per-core last-busy reduction
+        (:meth:`~repro.core.allocator.CoreAllocator.note_load_batch`).
+        Equivalent to per-element ``batch_commit`` by construction;
+        never bumps ``map_epoch``.
         """
-        observe = self.afd.observe
-        note_load = self.allocator.note_load
-        for f, c, o, t in zip(
-            flow_id.tolist(), core.tolist(), occ.tolist(), t_ns.tolist()
-        ):
-            observe(f)
-            note_load(c, o, t)
+        self.afd.observe_batch(flow_id)
+        self.allocator.note_load_batch(core, occ, t_ns)
 
     def _placement_target(self, cores, high_threshold: int) -> int | None:
         """Destination core for a migrating elephant.

@@ -28,7 +28,8 @@ class MigrationTable:
     elephant by the queue drain time, so placement consults both.
     """
 
-    __slots__ = ("_capacity", "_entries", "_per_core", "insertions", "evictions")
+    __slots__ = ("_capacity", "_entries", "_per_core", "insertions", "evictions",
+                 "epoch")
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity <= 0:
@@ -38,6 +39,10 @@ class MigrationTable:
         self._per_core: dict[int, int] = {}
         self.insertions = 0
         self.evictions = 0
+        #: bumped on every mutation of the entry set or a pin target —
+        #: consumers caching a snapshot of the pinned-flow set (the
+        #: vectorized plan overlay) invalidate on mismatch
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +89,7 @@ class MigrationTable:
         Re-adding an existing flow re-targets it in place.  Returns the
         flow id evicted to make room, or None.
         """
+        self.epoch += 1
         old = self._entries.get(flow_id)
         if old is not None:
             self._entries[flow_id] = core_id
@@ -105,6 +111,7 @@ class MigrationTable:
         core = self._entries.pop(flow_id, None)
         if core is None:
             return False
+        self.epoch += 1
         self._inc(core, -1)
         return True
 
@@ -112,11 +119,15 @@ class MigrationTable:
         """Remove every entry targeting *core_id* (the core left this
         service); returns the affected flow ids."""
         stale = [f for f, c in self._entries.items() if c == core_id]
+        if stale:
+            self.epoch += 1
         for f in stale:
             del self._entries[f]
         self._per_core.pop(core_id, None)
         return stale
 
     def clear(self) -> None:
+        if self._entries:
+            self.epoch += 1
         self._entries.clear()
         self._per_core.clear()

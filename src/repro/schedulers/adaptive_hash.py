@@ -127,6 +127,10 @@ class AdaptiveHashScheduler(Scheduler):
         planned span, so only the increment is replicated)."""
         self._bucket_count[flow_hash % len(self._bucket_to_core)] += 1
 
+    #: the bincount span commit below is batch-native, not a scalar
+    #: replay — let the span driver use it
+    commit_vectorized = True
+
     def batch_commit_span(self, flow_id, flow_hash, core, occ, t_ns) -> None:
         """Vectorized :meth:`batch_commit`: one bincount for the whole
         span instead of one list increment per packet.  Counts stay

@@ -100,10 +100,21 @@ class Scheduler(ABC):
     #: invalidating it retroactively is a contract violation).
     #: ``occ_arr`` holds the per-packet guard readings when
     #: :attr:`batch_guard` is set, else ``-1``.  ``None`` means the
-    #: span drain falls back to the scalar path for schedulers with a
-    #: per-packet ``batch_commit``; schedulers with neither hook need
-    #: no span support at all.
+    #: span driver synthesises the span commit itself by replaying
+    #: :attr:`batch_commit` element-by-element over the committed
+    #: arrays; schedulers with neither hook need no span support at
+    #: all.
     batch_commit_span: Callable[..., None] | None = None
+
+    #: Declares that :attr:`batch_commit_span` is genuinely batch-native
+    #: (array arithmetic / bulk counter merges) rather than a scalar
+    #: replay loop.  Purely informational for the span driver's phase
+    #: accounting and the benchmark report — the bit never changes
+    #: results, only which commit implementation the driver prefers:
+    #: when ``False`` the driver ignores ``batch_commit_span`` and
+    #: replays ``batch_commit`` itself, so a scheduler cannot silently
+    #: ship a scalar loop dressed up as a vectorized commit.
+    commit_vectorized: bool = False
 
     def __init__(self) -> None:
         self._loads: LoadView | None = None

@@ -62,6 +62,8 @@ other flow replays its events through the real ``on_depart``/
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.sim.events.backend import OUT_SLOTS
@@ -73,10 +75,19 @@ _MIN_SPAN = 64
 
 #: after a bail, retry the span path once this many scalar arrivals
 #: later (a bail cause is usually transient: a guard episode, a
-#: sentinel, a conflicting leftover in a queue)
-RETRY_STRIDE = 512
+#: sentinel, a conflicting leftover in a queue).  Kept small — the
+#: kernel doubles it per consecutive bail up to its ceiling, so
+#: persistent bail causes still settle at a cheap cadence while a
+#: one-packet guard episode no longer costs hundreds of scalar
+#: arrivals
+RETRY_STRIDE = 64
 
 _NO_GUARD = 1 << 60
+
+#: adaptive span-cap bounds (see ``SpanDriver._cap``)
+_CAP_INIT = 2048
+_CAP_MIN = 512
+_CAP_MAX = 1 << 20
 
 
 class SpanDriver:
@@ -99,6 +110,20 @@ class SpanDriver:
         self.spans_committed = 0
         self.spans_bailed = 0
         self.packets_spanned = 0
+        #: wall-clock phase split of committed spans (perf_counter_ns):
+        #: phase-1 per-core simulation vs phase-2 state commit
+        #: (including the scheduler's span commit).  Plan time lives on
+        #: the kernel (``SimKernel.plan_ns``) — together the three make
+        #: the bench report's plan/drain/commit breakdown.
+        self.drain_ns = 0
+        self.commit_ns = 0
+        #: adaptive attempt-size cap (AIMD): a guard trip re-runs
+        #: phase 1 truncated, so oversizing an attempt during an
+        #: overload episode costs the whole surplus — shrink toward the
+        #: observed trip distance on a trip, double back on a clean
+        #: commit that filled the cap.  Purely a work bound; committed
+        #: results are identical for any attempt size.
+        self._cap = _CAP_INIT
 
     # ------------------------------------------------------------------
     def attempt(self, li: int, horizon_ns: int) -> int:
@@ -120,9 +145,13 @@ class SpanDriver:
 
         if not getattr(sched, "batch_static", False):
             return li
+        batch_commit = sched.batch_commit
         commit_span = getattr(sched, "batch_commit_span", None)
-        if sched.batch_commit is not None and commit_span is None:
-            return li
+        if not getattr(sched, "commit_vectorized", False):
+            # an unvectorized batch_commit_span buys nothing over the
+            # driver's own replay loop below — ignore it so a scalar
+            # loop can't masquerade as a batch-native commit
+            commit_span = None
         if st.killed_pkts or k.injector is not None:
             return li
         bus = k.bus
@@ -177,6 +206,8 @@ class SpanDriver:
         )
         if hi - li < _MIN_SPAN:
             return li
+        if hi - li > self._cap:
+            hi = li + self._cap
         cores = np.asarray(k._col_arr[li - cl : hi - cl], dtype=np.int64)
         neg = np.nonzero(cores < 0)[0]
         if neg.size:
@@ -316,7 +347,9 @@ class SpanDriver:
             return t_h, flow_last, migrated, per_core
 
         S = span_n
+        t_drain0 = time.perf_counter_ns()
         t_h, flow_last, migrated, per_core = run_phase1(S)
+        self.drain_ns += time.perf_counter_ns() - t_drain0
 
         # guard trip: truncate to the first tripping arrival and re-run
         trip_rows = []
@@ -327,9 +360,14 @@ class SpanDriver:
                 trip_rows.append(int(r[0][r[8][11] - n_pre_c]))
         if trip_rows:
             S = min(trip_rows)
+            # shrink the next attempt toward the observed trip
+            # distance: re-running past it is pure waste
+            self._cap = max(_CAP_MIN, 1 << max(S, 1).bit_length())
             if S < _MIN_SPAN:
                 return li
+            t_drain0 = time.perf_counter_ns()
             t_h, flow_last, migrated, per_core = run_phase1(S)
+            self.drain_ns += time.perf_counter_ns() - t_drain0
             for r in per_core:
                 if r is not None and r[8][11] >= 0:  # pragma: no cover
                     return li  # defensive: a re-run must not trip
@@ -337,6 +375,7 @@ class SpanDriver:
         # ==============================================================
         # Phase 2: commit.  From here on nothing can bail.
         # ==============================================================
+        t_commit0 = time.perf_counter_ns()
         base_seq = events._seq
 
         # -- per-core served entries → global started/departed arrays --
@@ -611,7 +650,7 @@ class SpanDriver:
         )
 
         # -- scheduler per-packet bookkeeping --------------------------
-        if commit_span is not None and sched.batch_commit is not None:
+        if batch_commit is not None:
             if guard is not None:
                 occs = np.empty(S, dtype=np.int64)
                 for c in range(n_cores):
@@ -625,16 +664,32 @@ class SpanDriver:
                         )
             else:
                 occs = np.full(S, -1, dtype=np.int64)
-            commit_span(
-                win.flow_id[li : li + S],
-                win.flow_hash[li : li + S],
-                cores[:S],
-                occs,
-                arr_span[:S],
-            )
+            if commit_span is not None:
+                commit_span(
+                    win.flow_id[li : li + S],
+                    win.flow_hash[li : li + S],
+                    cores[:S],
+                    occs,
+                    arr_span[:S],
+                )
+            else:
+                # generic fallback: replay the per-packet hook in
+                # arrival order (exactly what a scalar
+                # ``batch_commit_span`` would do)
+                for f, h, cc, o, t in zip(
+                    win.flow_id[li : li + S].tolist(),
+                    win.flow_hash[li : li + S].tolist(),
+                    cores[:S].tolist(),
+                    occs.tolist(),
+                    arr_span[:S].tolist(),
+                ):
+                    batch_commit(f, h, cc, o, t)
 
+        self.commit_ns += time.perf_counter_ns() - t_commit0
         self.spans_committed += 1
         self.packets_spanned += S
+        if not trip_rows and S == self._cap and self._cap < _CAP_MAX:
+            self._cap *= 2  # clean full-cap commit: probe larger spans
         return li + S
 
     # ------------------------------------------------------------------

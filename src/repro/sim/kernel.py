@@ -63,6 +63,7 @@ workload or vice versa.  See ``docs/architecture.md``.
 from __future__ import annotations
 
 import pickle
+import time
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
@@ -100,6 +101,13 @@ CHECKPOINT_VERSION = 4
 #: at a time — bounds resident unboxed columns to O(segment) for any
 #: window size (a whole-window tolist would undo PR 4's memory bounds)
 _SEGMENT = 65_536
+
+#: segment stride while the span drain is live: every committed span
+#: invalidates the unboxed segment, and the scalar stretches between
+#: spans are short (a retry stride, a guard episode), so unboxing the
+#: full 65k-row segment per stretch would cost more than the scalar
+#: packets it feeds — spans with a drain active unbox small slices
+_SPAN_SEGMENT = 4_096
 
 #: ceiling for the exponential span-retry backoff: guard-heavy
 #: schedulers in sustained overload settle at one (cheap, bailed)
@@ -340,6 +348,10 @@ class SimKernel:
             if self.engine_spec.span_backend is not None
             else None
         )
+        #: cumulative wall-clock ns spent planning columns
+        #: (:meth:`_plan_column`) — the "plan" leg of the span-drain
+        #: phase breakdown in :attr:`span_stats`
+        self.plan_ns = 0
         if not _resumed:
             # a restored scheduler is already bound to the restored
             # queue bank (shared pickle graph); re-binding would reset
@@ -477,6 +489,7 @@ class SimKernel:
         suffix starting at local index *li*, under the scheduler's
         current tables; stamps the column with the post-plan
         ``map_epoch`` (planning itself must not self-invalidate)."""
+        t0 = time.perf_counter_ns()
         sched = self.scheduler
         win = self.window
         hi = len(win)
@@ -501,6 +514,7 @@ class SimKernel:
         self._col_lo = li
         self._col_plan_li = li
         self._col_epoch = sched.map_epoch
+        self.plan_ns += time.perf_counter_ns() - t0
 
     def _peek_arrival_ns(self) -> int | None:
         """Arrival time of the next undispatched packet, pulling chunks
@@ -772,15 +786,29 @@ class SimKernel:
     @property
     def span_stats(self) -> dict[str, int]:
         """Batched-drain counters (all zero on the scalar heap engine):
-        spans committed, attempts bailed to the scalar path, and
-        packets dispatched through committed spans."""
+        spans committed, attempts bailed to the scalar path, packets
+        dispatched through committed spans, and the wall-clock phase
+        split — ``plan_ns`` (column planning, accumulated on every
+        engine), ``drain_ns`` (phase-1 per-core simulation) and
+        ``commit_ns`` (phase-2 state commit including the scheduler's
+        span commit)."""
         s = self._span
         if s is None:
-            return {"spans_committed": 0, "spans_bailed": 0, "packets_spanned": 0}
+            return {
+                "spans_committed": 0,
+                "spans_bailed": 0,
+                "packets_spanned": 0,
+                "plan_ns": self.plan_ns,
+                "drain_ns": 0,
+                "commit_ns": 0,
+            }
         return {
             "spans_committed": s.spans_committed,
             "spans_bailed": s.spans_bailed,
             "packets_spanned": s.packets_spanned,
+            "plan_ns": self.plan_ns,
+            "drain_ns": s.drain_ns,
+            "commit_ns": s.commit_ns,
         }
 
     def start_packet(self, core: int, pkt: int, t_ns: int) -> None:
@@ -887,7 +915,7 @@ class SimKernel:
                             span_stride *= 2
                     if li >= seg_hi:
                         seg_lo = li
-                        seg_hi = li + _SEGMENT
+                        seg_hi = li + (_SEGMENT if span is None else _SPAN_SEGMENT)
                         if seg_hi > n_local:
                             seg_hi = n_local
                         arr_seg = arrival[seg_lo:seg_hi].tolist()

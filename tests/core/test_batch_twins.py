@@ -1,0 +1,186 @@
+"""Batch-native commit paths vs their scalar twins.
+
+The span drain's scheduler commit rides on
+``AggressiveFlowDetector.observe_batch`` and
+``CoreAllocator.note_load_batch``, whose contract is *bit-identity*
+with the scalar per-packet replay — not statistical equivalence.  The
+hypothesis properties here drive random flow-id programs through both
+paths and require every observable (counters, promotions, decay
+boundaries, cache contents **including LFU bucket FIFO order**, the
+RNG stream position under sampling) to match exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.afd import AFDConfig, AggressiveFlowDetector
+from repro.core.allocator import CoreAllocator
+from repro.core.lfu import LFUCache
+
+
+def lfu_state(cache: LFUCache) -> dict:
+    """Every observable of an LFU cache, including tie-break order."""
+    return {
+        "counts": dict(cache._counts),
+        "insertion_order": list(cache._counts),
+        "buckets": {c: list(b) for c, b in cache._buckets.items()},
+        "min_count": cache._min_count,
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+    }
+
+
+def afd_state(afd: AggressiveFlowDetector) -> dict:
+    return {
+        "afc": lfu_state(afd.afc),
+        "annex": lfu_state(afd.annex),
+        "promotions": afd.promotions,
+        "demotions": afd.demotions,
+        "observed": afd.observed,
+        "sampled": afd.sampled,
+    }
+
+
+afd_configs = st.builds(
+    AFDConfig,
+    afc_entries=st.integers(1, 6),
+    annex_entries=st.integers(1, 10),
+    promote_threshold=st.integers(1, 6),
+    sample_prob=st.sampled_from([1.0, 0.7, 0.3]),
+    demote_victims=st.booleans(),
+    decay_every=st.sampled_from([None, 3, 7, 16]),
+)
+
+flow_programs = st.lists(st.integers(0, 24), min_size=1, max_size=300)
+
+
+class TestObserveBatchTwin:
+    @settings(max_examples=300, deadline=None)
+    @given(cfg=afd_configs, fids=flow_programs, seed=st.integers(0, 2**16))
+    def test_batch_equals_scalar_replay(self, cfg, fids, seed):
+        scalar = AggressiveFlowDetector(cfg, rng=seed)
+        batch = AggressiveFlowDetector(cfg, rng=seed)
+        for f in fids:
+            scalar.observe(f)
+        batch.observe_batch(np.asarray(fids, dtype=np.int64))
+        assert afd_state(batch) == afd_state(scalar)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cfg=afd_configs,
+        fids=flow_programs,
+        seed=st.integers(0, 2**16),
+        data=st.data(),
+    )
+    def test_split_points_are_invisible(self, cfg, fids, seed, data):
+        """Any partition of the stream into sub-batches commits the
+        same state — spans of different sizes (chunk boundaries, guard
+        truncations) cannot leak into the detector."""
+        scalar = AggressiveFlowDetector(cfg, rng=seed)
+        batch = AggressiveFlowDetector(cfg, rng=seed)
+        for f in fids:
+            scalar.observe(f)
+        arr = np.asarray(fids, dtype=np.int64)
+        lo = 0
+        while lo < arr.size:
+            step = data.draw(st.integers(1, arr.size - lo))
+            batch.observe_batch(arr[lo : lo + step])
+            lo += step
+        assert afd_state(batch) == afd_state(scalar)
+
+    def test_sampling_stream_identical(self):
+        """One ``rng.random(n)`` draw consumes the generator stream
+        exactly like n scalar draws, so scalar/batch twins stay aligned
+        even *after* the compared window."""
+        cfg = AFDConfig(sample_prob=0.5)
+        scalar = AggressiveFlowDetector(cfg, rng=11)
+        batch = AggressiveFlowDetector(cfg, rng=11)
+        fids = list(range(64)) * 4
+        for f in fids:
+            scalar.observe(f)
+        batch.observe_batch(np.asarray(fids, dtype=np.int64))
+        # the generators themselves are in the same state
+        assert scalar._rng.random() == batch._rng.random()
+
+    def test_decay_boundary_mid_batch(self):
+        """A decay that lands inside a batch fires at the exact sampled
+        rank the scalar path would use (before the boundary packet)."""
+        cfg = AFDConfig(promote_threshold=10, decay_every=5)
+        scalar = AggressiveFlowDetector(cfg, rng=0)
+        batch = AggressiveFlowDetector(cfg, rng=0)
+        # 3 observes, then a batch of 7 straddling the rank-5 decay
+        head, tail = [1, 1, 2], [1, 2, 3, 1, 1, 2, 4]
+        for f in head + tail:
+            scalar.observe(f)
+        for f in head:
+            batch.observe(f)
+        batch.observe_batch(np.asarray(tail, dtype=np.int64))
+        assert afd_state(batch) == afd_state(scalar)
+
+    def test_empty_batch_is_a_noop(self):
+        afd = AggressiveFlowDetector(AFDConfig(), rng=3)
+        afd.observe_batch(np.empty(0, dtype=np.int64))
+        assert afd.observed == 0 and afd.sampled == 0
+
+
+class TestMergeHitsTwin:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        capacity=st.integers(2, 8),
+        hits=st.lists(st.integers(0, 7), min_size=1, max_size=60),
+    )
+    def test_merge_equals_replay(self, capacity, hits):
+        """merge_hits in last-occurrence order == one hit() per event."""
+        replay = LFUCache(capacity)
+        merged = LFUCache(capacity)
+        for cache in (replay, merged):
+            for k in range(capacity):
+                cache.insert(k, count=k + 1)
+        resident = [h % capacity for h in hits]
+        for k in resident:
+            replay.hit(k)
+        last = {}
+        for k in resident:  # re-insert moves the key to the dict tail
+            last.pop(k, None)
+            last[k] = None
+        deltas = {k: resident.count(k) for k in last}
+        merged.merge_hits(last.keys(), [deltas[k] for k in last])
+        assert lfu_state(merged) == lfu_state(replay)
+
+
+class TestNoteLoadBatchTwin:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        busy=st.integers(1, 6),
+        events=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 8)),
+            min_size=0,
+            max_size=80,
+        ),
+    )
+    def test_batch_equals_scalar(self, busy, events):
+        """Occupancy swings around ``busy_occupancy``: the per-core
+        last-busy timestamp must be the last *qualifying* arrival."""
+        scalar = CoreAllocator(4, 2, idle_threshold_ns=1000, busy_occupancy=busy)
+        batch = CoreAllocator(4, 2, idle_threshold_ns=1000, busy_occupancy=busy)
+        t = np.arange(10, 10 + len(events), dtype=np.int64)
+        for (core, occ), t_ns in zip(events, t.tolist()):
+            scalar.note_load(core, occ, t_ns)
+        cores = np.asarray([c for c, _ in events], dtype=np.int64)
+        occs = np.asarray([o for _, o in events], dtype=np.int64)
+        batch.note_load_batch(cores, occs, t)
+        assert batch._last_busy_ns == scalar._last_busy_ns
+
+    def test_unguarded_span_never_qualifies(self):
+        """The span driver passes ``occ == -1`` when no guard read the
+        queues; no core may be marked busy by it."""
+        alloc = CoreAllocator(4, 2, idle_threshold_ns=1000, busy_occupancy=4)
+        before = list(alloc._last_busy_ns)
+        alloc.note_load_batch(
+            np.arange(4, dtype=np.int64),
+            np.full(4, -1, dtype=np.int64),
+            np.arange(100, 104, dtype=np.int64),
+        )
+        assert alloc._last_busy_ns == before

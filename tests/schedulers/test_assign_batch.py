@@ -200,6 +200,76 @@ def test_planning_is_idempotent(name):
     assert a.map_epoch == b.map_epoch
 
 
+class TestLapsPinOverlayCache:
+    """The migration-pin overlay snapshot is cached on the migration
+    table's epoch (regression for the per-plan ``np.fromiter`` rebuild
+    — same bug shape as the PR 6 ``lookup_batch`` cache fix)."""
+
+    def _bound_laps(self):
+        sched = LAPSScheduler(LAPSConfig(num_services=2), rng=3)
+        sched.bind(MutableLoads())
+        return sched
+
+    def _plan(self, sched, fids):
+        n = len(fids)
+        fid = np.asarray(fids, dtype=np.int64)
+        fh = fid * 7 + 1
+        sid = np.zeros(n, dtype=np.int64)
+        arr = np.arange(n, dtype=np.int64)
+        return sched.assign_batch(fh, sid, fid, arr, 0)
+
+    def test_snapshot_reused_while_epoch_holds(self):
+        sched = self._bound_laps()
+        core = sched.allocator.cores_of(0)[0]
+        sched.migration.add(5, core)
+        self._plan(sched, [5, 6, 7])
+        first = sched._pin_fids
+        assert first is not None
+        self._plan(sched, [8, 5, 9])
+        assert sched._pin_fids is first  # no rebuild without a mutation
+
+    def test_every_mutation_invalidates(self):
+        sched = self._bound_laps()
+        cores = sched.allocator.cores_of(0)
+        mig = sched.migration
+        mig.add(5, cores[0])
+        assert self._plan(sched, [5]).tolist() == [cores[0]]
+        # retarget in place
+        mig.add(5, cores[1])
+        assert self._plan(sched, [5]).tolist() == [cores[1]]
+        # add a second pin
+        mig.add(6, cores[0])
+        assert self._plan(sched, [5, 6]).tolist() == [cores[1], cores[0]]
+        # remove one
+        mig.remove(5)
+        out = self._plan(sched, [5, 6])
+        assert out.tolist()[1] == cores[0]
+        assert out.tolist()[0] != cores[1] or 5 not in mig
+        # drop a whole core's pins
+        mig.drop_core(cores[0])
+        assert 6 not in mig
+
+    def test_stale_pin_maps_to_sentinel(self):
+        """A pin whose target core left the service plans as ``-1`` so
+        the scalar path prunes it."""
+        sched = self._bound_laps()
+        foreign = sched.allocator.cores_of(1)[0]
+        sched.migration.add(5, foreign)  # pinned outside service 0
+        assert self._plan(sched, [5]).tolist() == [-1]
+
+    def test_overlay_matches_scalar_lookup(self):
+        sched = self._bound_laps()
+        cores = sched.allocator.cores_of(0)
+        for f in range(0, 40, 3):
+            sched.migration.add(f, cores[f % len(cores)])
+        fids = list(range(50))
+        out = self._plan(sched, fids).tolist()
+        for f, planned in zip(fids, out):
+            pin = sched.migration.lookup(f)
+            if pin is not None and sched.allocator.owner_of(pin) == 0:
+                assert planned == pin
+
+
 # ----------------------------------------------------------------------
 # kernel-level bit-identity
 # ----------------------------------------------------------------------
